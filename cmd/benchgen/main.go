@@ -1,0 +1,95 @@
+// Command benchgen emits the synthetic benchmark circuits in ISCAS-89
+// ".bench" format, either one named Table-II stand-in or a custom circuit.
+//
+// Usage:
+//
+//	benchgen -bench s5378 > s5378.bench
+//	benchgen -ffs 64 -pis 8 -pos 4 -gates 400 -seed 7 > custom.bench
+//	benchgen -all -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynunlock/internal/bench"
+	"dynunlock/internal/netlist"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "Table II benchmark name to generate")
+		all       = flag.Bool("all", false, "generate every Table II benchmark")
+		dir       = flag.String("dir", ".", "output directory for -all")
+		variant   = flag.Int64("variant", 0, "structural variant index")
+		scale     = flag.Int("scale", 1, "divide circuit size by this factor")
+		ffs       = flag.Int("ffs", 0, "custom circuit: flip-flop count")
+		pis       = flag.Int("pis", 8, "custom circuit: primary inputs")
+		pos       = flag.Int("pos", 4, "custom circuit: primary outputs")
+		gates     = flag.Int("gates", 0, "custom circuit: gate count (0 = 4x flops)")
+		seed      = flag.Int64("seed", 1, "custom circuit: generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, e := range bench.Table2 {
+			if *scale > 1 {
+				e = e.Scaled(*scale)
+			}
+			n, err := e.Build(*variant)
+			if err != nil {
+				fatalf("%s: %v", e.Name, err)
+			}
+			name := filepath.Join(*dir, filepath.Base(e.Name)+".bench")
+			if err := writeFile(name, n); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%v)\n", name, n.Stats())
+		}
+	case *benchName != "":
+		e, ok := bench.ByName(*benchName)
+		if !ok {
+			fatalf("unknown benchmark %q", *benchName)
+		}
+		if *scale > 1 {
+			e = e.Scaled(*scale)
+		}
+		n, err := e.Build(*variant)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := n.WriteBench(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	case *ffs > 0:
+		n, err := bench.Generate(bench.GenConfig{
+			Name: "custom", PIs: *pis, POs: *pos, FFs: *ffs, Gates: *gates, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := n.WriteBench(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeFile(path string, n *netlist.Netlist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.WriteBench(f)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
+	os.Exit(2)
+}

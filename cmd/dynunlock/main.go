@@ -1,0 +1,100 @@
+// Command dynunlock locks a benchmark circuit with dynamic scan locking,
+// fabricates a chip with secret keys, and runs the DynUnlock attack,
+// printing a Table-II-style result row.
+//
+// Usage:
+//
+//	dynunlock -bench s5378 -keybits 128 -trials 10
+//	dynunlock -bench s35932 -keybits 240 -scale 8 -policy percycle -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dynunlock"
+	"dynunlock/internal/bench"
+	"dynunlock/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "s5378", "benchmark name (s5378 s13207 s15850 s38584 s38417 s35932 b20 b21 b22 b17)")
+		keyBits   = flag.Int("keybits", 128, "key register width")
+		policyStr = flag.String("policy", "percycle", "key update policy: static | perpattern | percycle")
+		period    = flag.Int("period", 1, "pattern period for -policy perpattern")
+		scale     = flag.Int("scale", 1, "divide circuit size by this factor for quick runs")
+		trials    = flag.Int("trials", 1, "number of secret seeds to attack (paper: 10)")
+		mode      = flag.String("mode", "linear", "attack formulation: linear | direct")
+		limit     = flag.Int("limit", 256, "seed candidate enumeration limit")
+		seedBase  = flag.Int64("seed", 1, "base RNG seed for the chip secrets")
+		verbose   = flag.Bool("v", false, "log attack progress")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		tb := report.New("Available benchmarks (paper Table II)", "Name", "Suite", "# Scan flops", "PIs", "POs")
+		for _, e := range bench.Table2 {
+			tb.AddRow(e.Name, e.Suite, e.FFs, e.PIs, e.POs)
+		}
+		tb.Render(os.Stdout)
+		return
+	}
+
+	cfg := dynunlock.ExperimentConfig{
+		Benchmark:      *benchName,
+		KeyBits:        *keyBits,
+		Period:         *period,
+		Scale:          *scale,
+		Trials:         *trials,
+		EnumerateLimit: *limit,
+		SeedBase:       *seedBase,
+	}
+	switch strings.ToLower(*policyStr) {
+	case "static":
+		cfg.Policy = dynunlock.Static
+	case "perpattern":
+		cfg.Policy = dynunlock.PerPattern
+	case "percycle":
+		cfg.Policy = dynunlock.PerCycle
+	default:
+		fatalf("unknown policy %q", *policyStr)
+	}
+	switch strings.ToLower(*mode) {
+	case "linear":
+		cfg.Mode = dynunlock.ModeLinear
+	case "direct":
+		cfg.Mode = dynunlock.ModeDirect
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	} else {
+		cfg.Log = io.Discard
+	}
+
+	res, err := dynunlock.RunExperiment(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tb := report.New(
+		fmt.Sprintf("DynUnlock on %s (%d scan flops, %d-bit key, %v, %d trial(s), %s mode)",
+			res.Entry.Name, res.Entry.FFs, cfg.KeyBits, cfg.Policy, len(res.Trials), cfg.Mode),
+		"Benchmark", "# Scan flops", "# Key bits", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	tb.AddRow(res.Entry.Name, res.Entry.FFs, cfg.KeyBits,
+		res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
+	tb.Render(os.Stdout)
+	if !res.AllSucceeded() {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dynunlock: "+format+"\n", args...)
+	os.Exit(2)
+}

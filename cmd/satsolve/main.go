@@ -1,0 +1,93 @@
+// Command satsolve runs the built-in CDCL solver on a DIMACS CNF file and
+// prints the verdict in SAT-competition output format (s/v lines). It is a
+// standalone exerciser for internal/sat — the solver substrate the whole
+// attack stands on — and doubles as a consumer for the per-iteration CNF
+// dumps that satattack.Options.DumpCNF produces.
+//
+// Usage:
+//
+//	satsolve formula.cnf
+//	satsolve -budget 100000 formula.cnf     # bounded: may print UNKNOWN
+//	benchgen ... | scanlock ... ; satsolve -stats dump_iter3.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynunlock/internal/cnf"
+	"dynunlock/internal/sat"
+)
+
+func main() {
+	var (
+		budget = flag.Int64("budget", 0, "conflict budget (0 = unlimited)")
+		stats  = flag.Bool("stats", false, "print solver statistics to stderr")
+		model  = flag.Bool("model", true, "print the model (v lines) on SAT")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satsolve [-budget N] [-stats] file.cnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	formula, err := cnf.ParseDimacs(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	s := sat.New()
+	s.ConflictBudget = *budget
+	s.AddFormula(formula)
+	st := s.Solve()
+	if *stats {
+		fmt.Fprintf(os.Stderr, "c vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d\n",
+			formula.NumVars, len(formula.Clauses), s.Stats.Conflicts,
+			s.Stats.Decisions, s.Stats.Propagations, s.Stats.Restarts)
+	}
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			printModel(s, formula.NumVars)
+		}
+		// Sanity: the model must satisfy the formula we parsed.
+		if !formula.Eval(s.Model()[:formula.NumVars]) {
+			fatalf("internal error: model does not satisfy formula")
+		}
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(30)
+	}
+	os.Exit(10)
+}
+
+func printModel(s *sat.Solver, numVars int) {
+	line := "v"
+	for v := 0; v < numVars; v++ {
+		lit := v + 1
+		if !s.Value(v) {
+			lit = -lit
+		}
+		tok := fmt.Sprintf(" %d", lit)
+		if len(line)+len(tok) > 76 {
+			fmt.Println(line)
+			line = "v"
+		}
+		line += tok
+	}
+	fmt.Println(line + " 0")
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "satsolve: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,185 @@
+// Command tables regenerates the paper's Tables I, II, and III end to end:
+// it locks each benchmark, fabricates chips with secret seeds, runs the
+// attack, and prints rows in the paper's format.
+//
+// Paper-scale runs (-scale 1 -trials 10) take a while on the from-scratch
+// CDCL solver; -scale 8 reproduces the qualitative shape in seconds.
+//
+// Usage:
+//
+//	tables -table 2 -scale 8 -trials 3
+//	tables -table 3 -scale 8
+//	tables -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynunlock"
+	"dynunlock/internal/bench"
+	"dynunlock/internal/core"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/report"
+	"dynunlock/internal/scansat"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 2, "which table to regenerate: 1, 2, or 3")
+		scale  = flag.Int("scale", 1, "divide circuit sizes by this factor")
+		trials = flag.Int("trials", 10, "secret seeds per benchmark (paper: 10)")
+		kbits  = flag.Int("keybits", 128, "key width for Table II (paper: 128)")
+		v      = flag.Bool("v", false, "log per-trial progress to stderr")
+	)
+	flag.Parse()
+	var logw io.Writer
+	if *v {
+		logw = os.Stderr
+	}
+
+	switch *table {
+	case 1:
+		table1(*scale, logw)
+	case 2:
+		table2(*scale, *trials, *kbits, logw)
+	case 3:
+		table3(*scale, *trials, logw)
+	default:
+		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
+		os.Exit(2)
+	}
+}
+
+// table1 reproduces the evolution table: each defense family attacked by
+// the technique that broke it, demonstrated live on one mid-size circuit.
+func table1(scale int, logw io.Writer) {
+	tb := report.New("Table I: Evolution of scan locking (each defense attacked live)",
+		"Defense", "Obfuscation type", "Attack", "Broken", "Candidates", "Iterations")
+	run := func(defense, obfType, attackName string, policy dynunlock.Policy, attack func(chip *oracle.Chip) (broken bool, cands, iters int)) {
+		// Key width scales with the circuit so the mask rank can cover the
+		// key space (the paper's regime: k <= 2n).
+		d, err := dynunlock.LockBenchmark("s5378", scaleKey(64, max(scale, 8)), policy, max(scale, 8))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		chip, err := dynunlock.Fabricate(d, 1)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		broken, cands, iters := attack(chip)
+		tb.AddRow(defense, obfType, attackName, broken, cands, iters)
+	}
+
+	scanSAT := func(chip *oracle.Chip) (bool, int, int) {
+		res, err := scansat.Attack(chip, scansat.Options{EnumerateLimit: 256})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ok := false
+		for _, k := range res.KeyCandidates {
+			if k.Equal(chip.SecretSeed()) {
+				ok = true
+			}
+		}
+		return ok && res.Converged, len(res.KeyCandidates), res.Iterations
+	}
+	dynUnlock := func(chip *oracle.Chip) (bool, int, int) {
+		res, err := core.Attack(chip, core.Options{EnumerateLimit: 256, Log: logw})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return res.Converged && core.ContainsSeed(res.SeedCandidates, chip.SecretSeed()),
+			len(res.SeedCandidates), res.Iterations
+	}
+
+	run("EFF [10]", "Static", "ScanSAT [14]", dynunlock.Static, scanSAT)
+	run("DOS [12] (p=1)", "Dynamic", "DynUnlock (this work)", dynunlock.PerPattern, dynUnlock)
+	run("EFF-Dyn [13]", "Dynamic", "DynUnlock (this work)", dynunlock.PerCycle, dynUnlock)
+	tb.Render(os.Stdout)
+}
+
+// table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
+func table2(scale, trials, keyBits int, logw io.Writer) {
+	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
+	if scale > 1 {
+		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
+	}
+	title += ")"
+	tb := report.New(title,
+		"Benchmark", "# Scan flops", "# Key bits", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	for _, e := range bench.Table2 {
+		res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
+			Benchmark: e.Name,
+			KeyBits:   scaleKey(keyBits, scale),
+			Policy:    dynunlock.PerCycle,
+			Scale:     scale,
+			Trials:    trials,
+			SeedBase:  100,
+			Log:       logw,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tb.AddRow(e.Name, res.Entry.FFs, scaleKey(keyBits, scale),
+			res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
+	}
+	tb.Render(os.Stdout)
+}
+
+// table3 reproduces Table III: key-size sweep on the three largest
+// benchmarks.
+func table3(scale, trials int, logw io.Writer) {
+	benches := []string{"s38584", "s38417", "s35932"}
+	title := "Table III: larger keys on the three largest benchmarks"
+	if scale > 1 {
+		title += fmt.Sprintf(" (circuits scaled 1/%d)", scale)
+	}
+	tb := report.New(title,
+		"Key bits", "Benchmark", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	for kb := 144; kb <= 368; kb += 16 {
+		for _, name := range benches {
+			res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
+				Benchmark: name,
+				KeyBits:   scaleKey(kb, scale),
+				Policy:    dynunlock.PerCycle,
+				Scale:     scale,
+				Trials:    trials,
+				SeedBase:  int64(kb),
+				Log:       logw,
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			tb.AddRow(scaleKey(kb, scale), name, res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
+		}
+	}
+	tb.Render(os.Stdout)
+}
+
+// scaleKey shrinks the key width along with the circuit, keeping the
+// paper's k <= 2n regime so the seed stays exactly recoverable.
+func scaleKey(kb, scale int) int {
+	if scale <= 1 {
+		return kb
+	}
+	out := kb / scale
+	if out < 8 {
+		out = 8
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,234 @@
+package dynunlock
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"dynunlock/internal/bench"
+	"dynunlock/internal/core"
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/lock"
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/scan"
+)
+
+// Policy re-exports the key-update policies for facade users.
+type Policy = scan.Policy
+
+// Key-update policies (see internal/scan).
+const (
+	Static     = scan.Static
+	PerPattern = scan.PerPattern
+	PerCycle   = scan.PerCycle
+)
+
+// Mode re-exports the attack formulation selector.
+type Mode = core.Mode
+
+// Attack formulations (see internal/core).
+const (
+	ModeLinear = core.ModeLinear
+	ModeDirect = core.ModeDirect
+)
+
+// ExperimentConfig describes one paper-style experiment: a benchmark locked
+// with a key of the given width and policy, attacked over several secret
+// seeds.
+type ExperimentConfig struct {
+	// Benchmark is a Table II benchmark name (s5378 … b17).
+	Benchmark string
+	// KeyBits is the key width (128 in Table II; 144–368 in Table III).
+	KeyBits int
+	// Policy is the defense family (PerCycle = EFF-Dyn, the paper's
+	// target). The zero value is Static; Table II/III use PerCycle.
+	Policy Policy
+	// Period is the per-pattern update period (PerPattern only).
+	Period int
+	// Scale divides the circuit size for quick runs (1 or 0 = paper scale).
+	Scale int
+	// Trials is the number of secret seeds (the paper averages over 10).
+	// 0 selects 1.
+	Trials int
+	// Mode selects the attack formulation (default ModeLinear).
+	Mode Mode
+	// EnumerateLimit bounds seed-candidate enumeration (0 = 256).
+	EnumerateLimit int
+	// SeedBase derives the per-trial secrets; experiments with the same
+	// base are reproducible.
+	SeedBase int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// TrialResult is the outcome of one attack run.
+type TrialResult struct {
+	Candidates int
+	Iterations int
+	Queries    int
+	Seconds    float64
+	Rank       int
+	Exact      bool
+	Converged  bool
+	Verified   bool
+	// Success is the paper's criterion: the programmed secret seed is in
+	// the recovered candidate set.
+	Success bool
+}
+
+// ExperimentResult aggregates an experiment's trials.
+type ExperimentResult struct {
+	Entry  bench.Entry
+	Config ExperimentConfig
+	Trials []TrialResult
+}
+
+// AvgCandidates returns the mean candidate count across trials.
+func (r *ExperimentResult) AvgCandidates() float64 {
+	return r.avg(func(t TrialResult) float64 { return float64(t.Candidates) })
+}
+
+// AvgIterations returns the mean SAT-attack iteration count.
+func (r *ExperimentResult) AvgIterations() float64 {
+	return r.avg(func(t TrialResult) float64 { return float64(t.Iterations) })
+}
+
+// AvgSeconds returns the mean attack wall time in seconds.
+func (r *ExperimentResult) AvgSeconds() float64 {
+	return r.avg(func(t TrialResult) float64 { return t.Seconds })
+}
+
+// AllSucceeded reports whether every trial recovered the secret seed.
+func (r *ExperimentResult) AllSucceeded() bool {
+	for _, t := range r.Trials {
+		if !t.Success {
+			return false
+		}
+	}
+	return len(r.Trials) > 0
+}
+
+func (r *ExperimentResult) avg(f func(TrialResult) float64) float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range r.Trials {
+		sum += f(t)
+	}
+	return sum / float64(len(r.Trials))
+}
+
+// LockBenchmark builds the synthetic stand-in for a named benchmark,
+// applies scan locking, and returns the attacker-visible design.
+func LockBenchmark(name string, keyBits int, policy Policy, scale int) (*lock.Design, error) {
+	entry, ok := bench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dynunlock: unknown benchmark %q", name)
+	}
+	if scale > 1 {
+		entry = entry.Scaled(scale)
+	}
+	n, err := entry.Build(0)
+	if err != nil {
+		return nil, err
+	}
+	return lock.Lock(n, lock.Config{KeyBits: keyBits, Policy: policy})
+}
+
+// LockNetlist applies scan locking to a user-provided netlist.
+func LockNetlist(n *netlist.Netlist, keyBits int, policy Policy) (*lock.Design, error) {
+	return lock.Lock(n, lock.Config{KeyBits: keyBits, Policy: policy})
+}
+
+// Fabricate programs a design into a chip with the given secrets. A nil
+// secretSeed or authKey is drawn from rngSeed.
+func Fabricate(d *lock.Design, rngSeed int64) (*oracle.Chip, error) {
+	rng := rand.New(rand.NewSource(rngSeed))
+	k := d.Config.KeyBits
+	seed := gf2.NewVec(k)
+	for i := 0; i < k; i++ {
+		if rng.Intn(2) == 1 {
+			seed.Set(i, true)
+		}
+	}
+	if seed.IsZero() {
+		seed.Set(rng.Intn(k), true)
+	}
+	authKey := make([]bool, k)
+	for i := range authKey {
+		authKey[i] = rng.Intn(2) == 1
+	}
+	// The attacker's arbitrary test key defaults to all zeros; keep the
+	// authentication secret distinct so the PRNG path is exercised.
+	authKey[0] = true
+	return oracle.New(d, seed, authKey)
+}
+
+// Unlock attacks a chip and returns the attack result (see core.Result).
+func Unlock(chip *oracle.Chip, opts core.Options) (*core.Result, error) {
+	return core.Attack(chip, opts)
+}
+
+// RunExperiment locks the configured benchmark once and attacks it across
+// Trials independently drawn secret seeds, as in the paper's evaluation
+// ("run for 10 different LFSR seeds … averaged over these 10 runs").
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	entry, ok := bench.ByName(cfg.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("dynunlock: unknown benchmark %q", cfg.Benchmark)
+	}
+	if cfg.Scale > 1 {
+		entry = entry.Scaled(cfg.Scale)
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	n, err := entry.Build(0)
+	if err != nil {
+		return nil, err
+	}
+	design, err := lock.Lock(n, lock.Config{
+		KeyBits: cfg.KeyBits,
+		Policy:  cfg.Policy,
+		Period:  cfg.Period,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ExperimentResult{Entry: entry, Config: cfg}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		chip, err := Fabricate(design, cfg.SeedBase+int64(trial)*7919+1)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		atk, err := core.Attack(chip, core.Options{
+			Mode:           cfg.Mode,
+			EnumerateLimit: cfg.EnumerateLimit,
+			Log:            cfg.Log,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dynunlock: %s trial %d: %w", entry.Name, trial, err)
+		}
+		res.Trials = append(res.Trials, TrialResult{
+			Candidates: len(atk.SeedCandidates),
+			Iterations: atk.Iterations,
+			Queries:    atk.Queries,
+			Seconds:    time.Since(start).Seconds(),
+			Rank:       atk.Rank,
+			Exact:      atk.Exact,
+			Converged:  atk.Converged,
+			Verified:   atk.Verified,
+			Success:    core.ContainsSeed(atk.SeedCandidates, chip.SecretSeed()),
+		})
+		if cfg.Log != nil {
+			t := res.Trials[len(res.Trials)-1]
+			fmt.Fprintf(cfg.Log, "%s k=%d trial %d: candidates=%d iters=%d %.2fs success=%v\n",
+				entry.Name, cfg.KeyBits, trial, t.Candidates, t.Iterations, t.Seconds, t.Success)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package dynunlock
+
+import (
+	"bytes"
+	"testing"
+
+	"dynunlock/internal/core"
+)
+
+func TestRunExperimentSmall(t *testing.T) {
+	var log bytes.Buffer
+	res, err := RunExperiment(ExperimentConfig{
+		Benchmark: "s5378",
+		KeyBits:   8,
+		Policy:    PerCycle,
+		Scale:     16,
+		Trials:    3,
+		SeedBase:  11,
+		Log:       &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 3 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	if !res.AllSucceeded() {
+		t.Fatalf("not all trials succeeded: %+v", res.Trials)
+	}
+	if res.AvgCandidates() < 1 {
+		t.Fatal("no candidates")
+	}
+	if res.AvgIterations() <= 0 || res.AvgSeconds() <= 0 {
+		t.Fatal("averages not recorded")
+	}
+	for _, tr := range res.Trials {
+		if !tr.Converged || !tr.Verified || !tr.Exact {
+			t.Fatalf("trial flags: %+v", tr)
+		}
+		if tr.Queries < tr.Iterations {
+			t.Fatal("query accounting")
+		}
+	}
+	if log.Len() == 0 {
+		t.Fatal("log empty")
+	}
+	if res.Entry.FFs != 10 { // 160/16
+		t.Fatalf("scaled entry FFs = %d", res.Entry.FFs)
+	}
+}
+
+func TestRunExperimentUnknownBenchmark(t *testing.T) {
+	if _, err := RunExperiment(ExperimentConfig{Benchmark: "s9999", KeyBits: 8}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := LockBenchmark("s9999", 8, PerCycle, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestFacadeLockAndUnlock(t *testing.T) {
+	design, err := LockBenchmark("b20", 8, PerCycle, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := Fabricate(design, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Unlock(chip, core.Options{EnumerateLimit: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.ContainsSeed(res.SeedCandidates, chip.SecretSeed()) {
+		t.Fatal("facade attack failed")
+	}
+}
+
+func TestExperimentResultEmptyAggregates(t *testing.T) {
+	r := &ExperimentResult{}
+	if r.AvgCandidates() != 0 || r.AllSucceeded() {
+		t.Fatal("empty aggregates wrong")
+	}
+}

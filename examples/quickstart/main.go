@@ -1,0 +1,78 @@
+// Quickstart: lock a circuit with EFF-Dyn dynamic scan locking, fabricate
+// a chip with a secret LFSR seed, break it with DynUnlock, and use the
+// recovered seed to drive the scan chain at will.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dynunlock"
+	"dynunlock/internal/bench"
+	"dynunlock/internal/core"
+)
+
+func main() {
+	// 1. A victim design: a synthetic 64-flop sequential circuit.
+	n, err := bench.Generate(bench.GenConfig{
+		Name: "victim", PIs: 8, POs: 4, FFs: 64, Gates: 400, Seed: 2024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("victim circuit:", n.Stats())
+
+	// 2. The designer locks the scan chain: 32 XOR key gates driven by a
+	//    32-bit LFSR that steps EVERY clock cycle (EFF-Dyn).
+	design, err := dynunlock.LockNetlist(n, 32, dynunlock.PerCycle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("locked:", design.Describe())
+
+	// 3. The foundry fabricates a chip; the secret seed and test key are
+	//    programmed into tamper-proof memory.
+	chip, err := dynunlock.Fabricate(design, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The attacker owns the chip and the reverse-engineered netlist but
+	//    not the secrets. DynUnlock models one scan session as a
+	//    combinational circuit keyed by the seed (Algorithm 1 / Fig. 3) and
+	//    runs the oracle-guided SAT attack.
+	fmt.Println("\n--- DynUnlock attack (Fig. 3 flow) ---")
+	res, err := dynunlock.Unlock(chip, core.Options{Log: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v iterations=%d scan sessions=%d elapsed=%v\n",
+		res.Converged, res.Iterations, res.Queries, res.Elapsed.Round(1000000))
+	fmt.Printf("seed candidates=%d (exact=%v, analytic prediction=2^%d)\n",
+		len(res.SeedCandidates), res.Exact, res.PredictedLog2)
+	fmt.Printf("probe verification passed=%v\n", res.Verified)
+	fmt.Printf("recovered seed: %s\n", res.SeedCandidates[0])
+	fmt.Printf("actual   seed: %s\n", chip.SecretSeed())
+	if !core.ContainsSeed(res.SeedCandidates, chip.SecretSeed()) {
+		log.Fatal("attack failed to recover the seed")
+	}
+
+	// 5. Scan access unlocked: the attacker can now deliver chosen states
+	//    and decode captured responses despite the dynamic obfuscation.
+	v, err := core.NewVerifier(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encodeIn, decodeOut := v.Unlock(res.SeedCandidates[0])
+	want := make([]bool, 64)
+	want[0], want[13], want[40] = true, true, true
+	pi := make([]bool, 8)
+	chip.Reset()
+	raw, _ := chip.Session(make([]bool, 32), encodeIn(want), pi)
+	got := decodeOut(raw)
+	fmt.Printf("\nchosen state delivered through the locked chain; decoded response has %d bits\n", len(got))
+	fmt.Println("scan access unlocked — the defense is broken.")
+}

@@ -1,0 +1,3 @@
+module dynunlock
+
+go 1.22

@@ -1,0 +1,120 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+
+	"dynunlock/internal/bench"
+	"dynunlock/internal/fault"
+	"dynunlock/internal/netlist"
+)
+
+func view(t testing.TB, src string) *netlist.CombView {
+	t.Helper()
+	n, err := netlist.ParseBench(strings.NewReader(src), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestGenerateTestAND(t *testing.T) {
+	v := view(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`)
+	z, _ := v.N.Lookup("z")
+	pat, verdict, err := GenerateTest(v, fault.Fault{Signal: z, StuckAt: false}, 0)
+	if err != nil || verdict != Detected {
+		t.Fatalf("verdict %v err %v", verdict, err)
+	}
+	// Only (1,1) detects z/s-a-0.
+	if !pat[0] || !pat[1] {
+		t.Fatalf("pattern %v does not detect z/s-a-0", pat)
+	}
+	// Cross-validate with the fault simulator.
+	s := fault.NewSimulator(v)
+	if s.Detects(fault.Fault{Signal: z, StuckAt: false}, fault.PackPatterns([][]bool{pat}, 2))&1 != 1 {
+		t.Fatal("fault simulator disagrees with ATPG")
+	}
+}
+
+func TestGenerateTestRedundant(t *testing.T) {
+	v := view(t, `
+INPUT(a)
+OUTPUT(z)
+na = NOT(a)
+z = OR(a, na)
+`)
+	z, _ := v.N.Lookup("z")
+	_, verdict, err := GenerateTest(v, fault.Fault{Signal: z, StuckAt: true}, 0)
+	if err != nil || verdict != Redundant {
+		t.Fatalf("verdict %v err %v, want redundant", verdict, err)
+	}
+	if verdict.String() != "redundant" {
+		t.Fatal("Result.String wrong")
+	}
+}
+
+// Every ATPG-generated pattern must be confirmed by the independent fault
+// simulator, on a generated sequential circuit's combinational view.
+func TestCampaignCrossValidated(t *testing.T) {
+	n, err := bench.Generate(bench.GenConfig{Name: "atpg", PIs: 6, POs: 3, FFs: 10, Gates: 80, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.AllFaults(v)
+	res := GeneratePatterns(v, faults, Options{RandomPatterns: 32, Seed: 3})
+	if res.Aborted != 0 {
+		t.Fatalf("%d aborted faults", res.Aborted)
+	}
+	if res.Coverage() < 0.999 {
+		t.Fatalf("coverage %.3f, want ~1 (SAT ATPG is complete)", res.Coverage())
+	}
+	if res.Detected+res.Redundant != res.Total {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// The final pattern set must reach the same coverage under pure fault
+	// simulation.
+	camp := fault.Campaign(v, faults, res.Patterns)
+	if camp.Detected < res.Detected {
+		t.Fatalf("fault simulation confirms only %d of %d", camp.Detected, res.Detected)
+	}
+	if res.RandomHits == 0 {
+		t.Fatal("random phase detected nothing (suspicious)")
+	}
+}
+
+func TestCoverageAllRedundant(t *testing.T) {
+	c := CampaignResult{Total: 2, Redundant: 2}
+	if c.Coverage() != 1 {
+		t.Fatal("all-redundant coverage must be 1")
+	}
+}
+
+func TestGenerateTestInputFault(t *testing.T) {
+	v := view(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = XOR(a, b)
+`)
+	a, _ := v.N.Lookup("a")
+	pat, verdict, err := GenerateTest(v, fault.Fault{Signal: a, StuckAt: true}, 0)
+	if err != nil || verdict != Detected {
+		t.Fatalf("verdict %v err %v", verdict, err)
+	}
+	if pat[0] != false {
+		t.Fatalf("a/s-a-1 requires a=0, got %v", pat)
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"testing"
+
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sim"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	for _, cfg := range []GenConfig{
+		{Name: "tiny", PIs: 2, POs: 1, FFs: 4, Gates: 10, Seed: 1},
+		{Name: "mid", PIs: 8, POs: 4, FFs: 32, Gates: 200, Seed: 2},
+		{Name: "defaultgates", PIs: 4, POs: 2, FFs: 16, Seed: 3},
+	} {
+		n, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		st := n.Stats()
+		if st.PIs != cfg.PIs || st.POs != cfg.POs || st.DFFs != cfg.FFs {
+			t.Fatalf("%s: stats %+v", cfg.Name, st)
+		}
+		if cfg.Gates > 0 && st.Gates < cfg.Gates {
+			t.Fatalf("%s: only %d gates", cfg.Name, st.Gates)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Name: "d", PIs: 4, POs: 2, FFs: 8, Gates: 40, Seed: 7}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	va, _ := netlist.NewCombView(a)
+	vb, _ := netlist.NewCombView(b)
+	sa, sb := sim.NewComb(va), sim.NewComb(vb)
+	in := make([]uint64, len(va.Inputs))
+	for i := range in {
+		in[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	oa, ob := sa.Eval(in), sb.Eval(in)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("same seed produced different circuits")
+		}
+	}
+	c, _ := Generate(GenConfig{Name: "d", PIs: 4, POs: 2, FFs: 8, Gates: 40, Seed: 8})
+	vc, _ := netlist.NewCombView(c)
+	sc := sim.NewComb(vc)
+	oc := sc.Eval(in)
+	same := true
+	for i := range oa {
+		if oa[i] != oc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical behavior (suspicious)")
+	}
+}
+
+func TestGenerateRejectsDegenerate(t *testing.T) {
+	if _, err := Generate(GenConfig{PIs: 0, POs: 1, FFs: 4}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := Generate(GenConfig{PIs: 1, POs: 1, FFs: 1}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestTable2Registry(t *testing.T) {
+	if len(Table2) != 10 {
+		t.Fatalf("Table2 has %d entries", len(Table2))
+	}
+	wantFFs := map[string]int{
+		"s5378": 160, "s13207": 202, "s15850": 442, "s38584": 1233,
+		"s38417": 1564, "s35932": 1728, "b20": 429, "b21": 429,
+		"b22": 611, "b17": 864,
+	}
+	for name, ffs := range wantFFs {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if e.FFs != ffs {
+			t.Fatalf("%s: FFs = %d, want %d (paper Table II)", name, e.FFs, ffs)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName should miss")
+	}
+}
+
+func TestEntryBuild(t *testing.T) {
+	e, _ := ByName("s5378")
+	n, err := e.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().DFFs != 160 {
+		t.Fatalf("DFFs = %d", n.Stats().DFFs)
+	}
+	n2, err := e.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Stats().DFFs != 160 {
+		t.Fatal("variant changed flop count")
+	}
+}
+
+func TestEntryScaled(t *testing.T) {
+	e, _ := ByName("s38417")
+	s := e.Scaled(16)
+	if s.FFs != 1564/16 {
+		t.Fatalf("scaled FFs = %d", s.FFs)
+	}
+	if s.PIs < 4 || s.POs < 4 {
+		t.Fatal("PI/PO floor violated")
+	}
+	if e.Scaled(1).Name != e.Name {
+		t.Fatal("factor 1 must be identity")
+	}
+	n, err := s.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().DFFs != s.FFs {
+		t.Fatal("scaled build wrong")
+	}
+}
+
+func TestS208F(t *testing.T) {
+	n := S208F()
+	st := n.Stats()
+	if st.DFFs != 8 {
+		t.Fatalf("s208f has %d flops, want 8", st.DFFs)
+	}
+	if st.PIs != 10 || st.POs != 2 {
+		t.Fatalf("s208f PI/PO = %d/%d", st.PIs, st.POs)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

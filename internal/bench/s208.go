@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+
+	"dynunlock/internal/netlist"
+)
+
+// s208fSrc is a hand-written 8-flop sequential circuit in the spirit of the
+// ISCAS-89 s208 benchmark used in the paper's Fig. 1 walkthrough: 8 scan
+// flops, a handful of primary inputs, and a small next-state cone per flop.
+// It is small enough to verify the combinational modeling (Fig. 4) by hand
+// and exhaustively in tests.
+const s208fSrc = `
+# s208f: 8-flop walkthrough circuit (Fig. 1 stand-in)
+INPUT(p0)
+INPUT(p1)
+INPUT(p2)
+INPUT(p3)
+INPUT(p4)
+INPUT(p5)
+INPUT(p6)
+INPUT(p7)
+INPUT(p8)
+INPUT(p9)
+OUTPUT(y0)
+OUTPUT(y1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+q3 = DFF(d3)
+q4 = DFF(d4)
+q5 = DFF(d5)
+q6 = DFF(d6)
+q7 = DFF(d7)
+t0 = AND(p0, q1)
+t1 = XOR(q0, p1)
+t2 = NOR(q2, p2)
+t3 = NAND(q3, p3)
+t4 = OR(q4, p4)
+t5 = XNOR(q5, p5)
+t6 = AND(q6, p6)
+t7 = XOR(q7, p7)
+u0 = XOR(t0, t7)
+u1 = NAND(t1, p8)
+u2 = OR(t2, t5)
+u3 = AND(t3, p9)
+d0 = XOR(u0, q7)
+d1 = AND(u1, t4)
+d2 = XOR(u2, q1)
+d3 = NOR(u3, t6)
+d4 = XOR(t4, q3)
+d5 = NAND(t5, q0)
+d6 = OR(t6, u0)
+d7 = XOR(t7, u1)
+y0 = XOR(u0, u3)
+y1 = NAND(u2, t1)
+`
+
+// S208F returns the 8-flop walkthrough circuit.
+func S208F() *netlist.Netlist {
+	n, err := netlist.ParseBench(strings.NewReader(s208fSrc), "s208f")
+	if err != nil {
+		panic("bench: embedded s208f invalid: " + err.Error())
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+// Package cnf defines propositional literals, clauses, and CNF formulas,
+// with DIMACS import/export. It is the interchange layer between the
+// Tseitin encoder and the SAT solver.
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lit is a literal in MiniSat encoding: variable v (0-based) appears
+// positively as v<<1 and negatively as v<<1|1.
+type Lit int32
+
+// MkLit builds a literal for variable v with the given polarity
+// (neg=false → positive).
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the 0-based variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether l is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Dimacs returns the 1-based signed DIMACS integer for l.
+func (l Lit) Dimacs() int {
+	d := l.Var() + 1
+	if l.Sign() {
+		return -d
+	}
+	return d
+}
+
+// FromDimacs converts a signed DIMACS integer (non-zero) to a Lit.
+func FromDimacs(d int) Lit {
+	if d == 0 {
+		panic("cnf: DIMACS literal 0")
+	}
+	if d < 0 {
+		return MkLit(-d-1, true)
+	}
+	return MkLit(d-1, false)
+}
+
+// String renders the literal in DIMACS form.
+func (l Lit) String() string { return strconv.Itoa(l.Dimacs()) }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula: a conjunction of clauses over NumVars variables.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (f *Formula) NewVar() int {
+	v := f.NumVars
+	f.NumVars++
+	return v
+}
+
+// Add appends a clause (copying the literals) and grows NumVars as needed.
+func (f *Formula) Add(lits ...Lit) {
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	for _, l := range lits {
+		if l.Var() >= f.NumVars {
+			f.NumVars = l.Var() + 1
+		}
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// Eval reports whether assignment (indexed by variable) satisfies f.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var()] != l.Sign() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteDimacs emits the formula in DIMACS CNF format.
+func (f *Formula) WriteDimacs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", l.Dimacs())
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}
+
+// ParseDimacs reads a DIMACS CNF file. Comment lines (c …) and the problem
+// line are handled; %-terminated files (some SATLIB archives) are accepted.
+func ParseDimacs(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	declaredVars, declaredClauses := -1, -1
+	var cur Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			break
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs:%d: bad problem line %q", lineNo, line)
+			}
+			var err1, err2 error
+			declaredVars, err1 = strconv.Atoi(fields[2])
+			declaredClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dimacs:%d: bad problem line %q", lineNo, line)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs:%d: bad literal %q", lineNo, tok)
+			}
+			if v == 0 {
+				f.Add(cur...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, FromDimacs(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dimacs: read: %w", err)
+	}
+	if len(cur) > 0 {
+		f.Add(cur...)
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	if declaredClauses >= 0 && declaredClauses != len(f.Clauses) {
+		// Tolerated: many files in the wild miscount. Not an error.
+		_ = declaredClauses
+	}
+	return f, nil
+}

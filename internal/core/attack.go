@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/lock"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/sat"
+	"dynunlock/internal/satattack"
+	"dynunlock/internal/sim"
+)
+
+// Options configures the DynUnlock attack.
+type Options struct {
+	// Mode selects the seed search-space formulation (see Mode). The zero
+	// value is ModeLinear.
+	Mode Mode
+	// TestKey is the (arbitrary, almost surely mismatching) external test
+	// key the attacker applies so the PRNG drives the key gates. Nil means
+	// all zeros.
+	TestKey []bool
+	// EnumerateLimit bounds seed-candidate enumeration after convergence.
+	// 0 selects the paper's practical bound of 256 (Table II observes at
+	// most 128 candidates).
+	EnumerateLimit int
+	// MaxIterations bounds the DIP loop (0 = unlimited).
+	MaxIterations int
+	// ConflictBudget bounds total SAT conflicts (0 = unlimited).
+	ConflictBudget int64
+	// VerifyProbes is the number of random probe sessions used to check
+	// each recovered seed against the chip (attacker-side validation).
+	// 0 selects 8.
+	VerifyProbes int
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// Result reports a DynUnlock run.
+type Result struct {
+	// Mode is the formulation that produced this result.
+	Mode Mode
+	// SeedCandidates are the recovered seeds; the set is the full
+	// indistinguishability class when Exact.
+	SeedCandidates []gf2.Vec
+	// Exact reports whether enumeration completed below the limit.
+	Exact bool
+	// Iterations is the number of SAT-attack iterations (DIPs).
+	Iterations int
+	// Queries is the number of scan sessions issued to the chip.
+	Queries int
+	// Converged reports miter-UNSAT convergence.
+	Converged bool
+	// Rank is rank([A;B]); PredictedLog2 = keyBits − Rank is the analytic
+	// candidate-count exponent.
+	Rank          int
+	PredictedLog2 int
+	// Verified reports that every candidate reproduced the chip's behavior
+	// on the random probe sessions (attacker-side check).
+	Verified bool
+	// Elapsed is total attack wall time.
+	Elapsed time.Duration
+	// SolverStats snapshots the CDCL solver counters.
+	SolverStats sat.Stats
+}
+
+// ChipOracle adapts a scan session on the real chip to the combinational
+// model's I/O interface: model inputs (pi, a) map to one reset + session;
+// model outputs are (po, observed scan-out).
+type ChipOracle struct {
+	Chip    *oracle.Chip
+	TestKey []bool
+	// Sessions counts queries issued through this adapter.
+	Sessions int
+}
+
+// NewChipOracle builds the adapter; nil testKey selects all zeros.
+func NewChipOracle(chip *oracle.Chip, testKey []bool) *ChipOracle {
+	if testKey == nil {
+		testKey = make([]bool, chip.Design().Config.KeyBits)
+	}
+	return &ChipOracle{Chip: chip, TestKey: testKey}
+}
+
+// Query implements satattack.Oracle.
+func (o *ChipOracle) Query(in []bool) []bool {
+	d := o.Chip.Design()
+	numPI := d.View.NumPI
+	pi := in[:numPI]
+	a := in[numPI:]
+	o.Chip.Reset()
+	scanOut, po := o.Chip.Session(o.TestKey, a, pi)
+	o.Sessions++
+	return append(append([]bool(nil), po...), scanOut...)
+}
+
+// Attack runs DynUnlock end to end against a chip the attacker owns:
+// model construction (Algorithm 1), the SAT attack loop (Fig. 3), seed
+// enumeration, and probe-based verification.
+func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+	start := time.Now()
+	d := chip.Design()
+	if opts.EnumerateLimit == 0 {
+		opts.EnumerateLimit = 256
+	}
+	if opts.VerifyProbes == 0 {
+		opts.VerifyProbes = 8
+	}
+	adapter := NewChipOracle(chip, opts.TestKey)
+	saOpts := satattack.Options{
+		MaxIterations:  opts.MaxIterations,
+		EnumerateLimit: opts.EnumerateLimit,
+		ConflictBudget: opts.ConflictBudget,
+		Log:            opts.Log,
+	}
+
+	res := &Result{Mode: opts.Mode}
+	switch opts.Mode {
+	case ModeDirect:
+		model, err := BuildModel(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Rank = model.Rank()
+		res.PredictedLog2 = model.PredictedCandidatesLog2()
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "direct model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
+				model.Netlist.Stats(), res.Rank, res.PredictedLog2)
+		}
+		saRes, err := satattack.Run(model.Locked, adapter, saOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = saRes.Iterations
+		res.Converged = saRes.Converged
+		res.Exact = saRes.CandidatesExact
+		res.SolverStats = saRes.SolverStats
+		for _, c := range saRes.Candidates {
+			res.SeedCandidates = append(res.SeedCandidates, gf2.FromBools(c))
+		}
+		if len(res.SeedCandidates) == 0 && saRes.Key != nil {
+			res.SeedCandidates = []gf2.Vec{gf2.FromBools(saRes.Key)}
+		}
+
+	default: // ModeLinear
+		mm, err := BuildMaskModel(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		stacked := gf2.VStack(mm.A, mm.B)
+		res.Rank = gf2.Rank(stacked)
+		res.PredictedLog2 = d.Config.KeyBits - res.Rank
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "mask model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
+				mm.Netlist.Stats(), res.Rank, res.PredictedLog2)
+		}
+		saRes, err := satattack.Run(mm.Locked, adapter, saOpts)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = saRes.Iterations
+		res.Converged = saRes.Converged
+		res.SolverStats = saRes.SolverStats
+		masks := saRes.Candidates
+		if len(masks) == 0 && saRes.Key != nil {
+			masks = [][]bool{saRes.Key}
+		}
+		res.Exact = saRes.CandidatesExact
+		members := make([]gf2.Vec, len(masks))
+		for i, mk := range masks {
+			members[i] = mm.MaskVector(mk)
+		}
+		seeds := mm.SeedsForMaskCoset(members, opts.EnumerateLimit+1)
+		if len(seeds) > opts.EnumerateLimit {
+			seeds = seeds[:opts.EnumerateLimit]
+			res.Exact = false
+		}
+		res.SeedCandidates = seeds
+	}
+
+	res.Queries = adapter.Sessions
+
+	// Attacker-side verification: every candidate must reproduce the chip
+	// on fresh random sessions.
+	v, err := NewVerifier(d)
+	if err != nil {
+		return nil, err
+	}
+	res.Verified = len(res.SeedCandidates) > 0
+	rngProbe := newSplitMix(0x9e3779b97f4a7c15)
+	for p := 0; p < opts.VerifyProbes && res.Verified; p++ {
+		scanIn := randomBits(rngProbe, d.Chain.Length)
+		pi := randomBits(rngProbe, d.View.NumPI)
+		chip.Reset()
+		gotOut, gotPO := chip.Session(adapter.TestKey, scanIn, pi)
+		for _, seed := range res.SeedCandidates {
+			wantOut, wantPO := v.Session(seed, scanIn, pi)
+			if !eqBits(gotOut, wantOut) || !eqBits(gotPO, wantPO) {
+				res.Verified = false
+				break
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Verifier replays scan sessions in closed form for a hypothesized seed —
+// what the attacker does once a seed is recovered to drive the chain at
+// will (and what the probe check uses).
+type Verifier struct {
+	d    *lock.Design
+	seq  *sim.Seq
+	a, b *gf2.Mat
+}
+
+// NewVerifier builds a verifier for the design, precomputing the session-0
+// mask matrices.
+func NewVerifier(d *lock.Design) (*Verifier, error) {
+	A, B, err := maskMatrices(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{d: d, seq: sim.NewSeq(d.View), a: A, b: B}, nil
+}
+
+// Session predicts (scanOut, po) of a session-0 scan session under the
+// given seed, using the closed-form masks.
+func (v *Verifier) Session(seed gf2.Vec, scanIn, pi []bool) (scanOut, po []bool) {
+	n := v.d.Chain.Length
+	aMask := v.a.MulVec(seed)
+	bMask := v.b.MulVec(seed)
+	aPrime := make([]bool, n)
+	for j := 0; j < n; j++ {
+		aPrime[j] = scanIn[j] != aMask.Get(j)
+	}
+	v.seq.SetState(aPrime)
+	po = v.seq.Step(pi)
+	bPrime := v.seq.State()
+	scanOut = make([]bool, n)
+	for j := 0; j < n; j++ {
+		scanOut[j] = bPrime[j] != bMask.Get(j)
+	}
+	return scanOut, po
+}
+
+// Unlock returns the de-obfuscation transform for a recovered seed: given
+// an intended state a to deliver, the scan-in vector to apply, and given an
+// observed scan-out, the true captured response. This is "gaining scan
+// access" in the paper's sense.
+func (v *Verifier) Unlock(seed gf2.Vec) (encodeIn func(a []bool) []bool, decodeOut func(b []bool) []bool) {
+	aMask := v.a.MulVec(seed)
+	bMask := v.b.MulVec(seed)
+	n := v.d.Chain.Length
+	encodeIn = func(a []bool) []bool {
+		out := make([]bool, n)
+		for j := range out {
+			out[j] = a[j] != aMask.Get(j)
+		}
+		return out
+	}
+	decodeOut = func(b []bool) []bool {
+		out := make([]bool, n)
+		for j := range out {
+			out[j] = b[j] != bMask.Get(j)
+		}
+		return out
+	}
+	return encodeIn, decodeOut
+}
+
+// ContainsSeed reports whether the candidate set includes the given seed.
+// Experiments use this with the chip's programmed secret to score success.
+func ContainsSeed(candidates []gf2.Vec, seed gf2.Vec) bool {
+	for _, c := range candidates {
+		if c.Equal(seed) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitMix is a tiny deterministic PRNG for probe generation (keeps the
+// package free of math/rand state in library code paths).
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func randomBits(r *splitMix, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.next()&1 == 1
+	}
+	return out
+}
+
+func eqBits(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,292 @@
+package encode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dynunlock/internal/cnf"
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sat"
+	"dynunlock/internal/sim"
+)
+
+func view(t testing.TB, src string) *netlist.CombView {
+	t.Helper()
+	n, err := netlist.ParseBench(strings.NewReader(src), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// randomCircuit builds a random combinational netlist with nIn inputs and
+// nGates gates; every gate type is exercised.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *netlist.CombView {
+	n := netlist.New("rand")
+	sigs := make([]netlist.SignalID, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		id, _ := n.AddInput("")
+		sigs = append(sigs, id)
+	}
+	z, _ := n.AddConst("c0", false)
+	o, _ := n.AddConst("c1", true)
+	sigs = append(sigs, z, o)
+	types := []netlist.GateType{
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not, netlist.Buf, netlist.Mux,
+	}
+	for i := 0; i < nGates; i++ {
+		t := types[rng.Intn(len(types))]
+		var fan []netlist.SignalID
+		switch t {
+		case netlist.Not, netlist.Buf:
+			fan = []netlist.SignalID{sigs[rng.Intn(len(sigs))]}
+		case netlist.Mux:
+			fan = []netlist.SignalID{sigs[rng.Intn(len(sigs))], sigs[rng.Intn(len(sigs))], sigs[rng.Intn(len(sigs))]}
+		default:
+			k := 2 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				fan = append(fan, sigs[rng.Intn(len(sigs))])
+			}
+		}
+		id, err := n.AddGate("", t, fan...)
+		if err != nil {
+			panic(err)
+		}
+		sigs = append(sigs, id)
+	}
+	// Last few gates become outputs.
+	for i := 0; i < 4 && i < len(sigs); i++ {
+		n.MarkOutput(sigs[len(sigs)-1-i])
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// The CNF encoding must agree with the simulator on every input pattern.
+func TestEncodingMatchesSimulatorExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		nIn := 2 + rng.Intn(5)
+		v := randomCircuit(rng, nIn, 3+rng.Intn(25))
+		simulator := sim.NewComb(v)
+		s := sat.New()
+		e := New(s)
+		inLits := e.FreshVec(len(v.Inputs))
+		outLits := e.EncodeComb(v, inLits)
+		for pat := 0; pat < 1<<uint(nIn); pat++ {
+			in := make([]bool, nIn)
+			assumptions := make([]cnf.Lit, nIn)
+			for i := range in {
+				in[i] = pat>>uint(i)&1 == 1
+				assumptions[i] = inLits[i]
+				if !in[i] {
+					assumptions[i] = inLits[i].Not()
+				}
+			}
+			if s.Solve(assumptions...) != sat.Sat {
+				t.Fatalf("trial %d pat %d: UNSAT", trial, pat)
+			}
+			got := e.ModelBits(outLits)
+			want := simulator.EvalBits(in)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d pat %d out %d: cnf=%v sim=%v", trial, pat, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Two copies of the same circuit with shared inputs can never differ: the
+// miter must be UNSAT under its activation literal.
+func TestMiterSelfEquivalenceUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		v := randomCircuit(rng, 4, 20)
+		s := sat.New()
+		e := New(s)
+		in := e.FreshVec(len(v.Inputs))
+		y1 := e.EncodeComb(v, in)
+		y2 := e.EncodeComb(v, in)
+		act := e.Miter(y1, y2)
+		if s.Solve(act) != sat.Unsat {
+			t.Fatalf("trial %d: self-miter SAT", trial)
+		}
+		if s.Solve() != sat.Sat {
+			t.Fatalf("trial %d: solver unusable after miter", trial)
+		}
+	}
+}
+
+// A miter between a circuit and its negation must be SAT on every input, and
+// deactivating the miter must keep the solver satisfiable.
+func TestMiterDetectsDifference(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+`
+	src2 := `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = NAND(a, b)
+`
+	v1, v2 := view(t, src), view(t, src2)
+	s := sat.New()
+	e := New(s)
+	in := e.FreshVec(2)
+	y1 := e.EncodeComb(v1, in)
+	y2 := e.EncodeComb(v2, in)
+	act := e.Miter(y1, y2)
+	if s.Solve(act) != sat.Sat {
+		t.Fatal("differing circuits: miter must be SAT")
+	}
+}
+
+func TestXorConstantFolding(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	a := e.Fresh()
+	if e.Xor(a, e.False()) != a {
+		t.Fatal("x^0 != x")
+	}
+	if e.Xor(a, e.True()) != a.Not() {
+		t.Fatal("x^1 != !x")
+	}
+	if e.Xor(a, a) != e.False() {
+		t.Fatal("x^x != 0")
+	}
+	if e.Xor(a, a.Not()) != e.True() {
+		t.Fatal("x^!x != 1")
+	}
+	if e.Xor(e.True(), e.True()) != e.False() {
+		t.Fatal("1^1 != 0")
+	}
+}
+
+func TestAssertEqualConst(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	lits := e.FreshVec(3)
+	e.AssertEqualConst(lits, []bool{true, false, true})
+	if s.Solve() != sat.Sat {
+		t.Fatal("UNSAT")
+	}
+	got := e.ModelBits(lits)
+	if !got[0] || got[1] || !got[2] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConstVec(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	cv := e.ConstVec([]bool{true, false})
+	if cv[0] != e.True() || cv[1] != e.False() {
+		t.Fatal("ConstVec wrong")
+	}
+}
+
+func TestEncodeSequentialView(t *testing.T) {
+	// Sequential circuit: next-state outputs must be encoded too.
+	src := `
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(q, en)
+`
+	v := view(t, src)
+	s := sat.New()
+	e := New(s)
+	in := e.FreshVec(2) // en, q
+	out := e.EncodeComb(v, in)
+	if len(out) != 2 { // q (PO), d (next state)
+		t.Fatalf("got %d outputs", len(out))
+	}
+	// d = q ^ en: force q=1, en=1 -> d=0
+	e.AssertEqualConst(in, []bool{true, true})
+	if s.Solve() != sat.Sat {
+		t.Fatal("UNSAT")
+	}
+	bits := e.ModelBits(out)
+	if bits[0] != true || bits[1] != false {
+		t.Fatalf("got %v", bits)
+	}
+}
+
+func TestMiterArityPanics(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	e.Miter(e.FreshVec(2), e.FreshVec(3))
+}
+
+// Structural hashing: re-encoding the same subcircuit must not add clauses.
+func TestStructuralHashing(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	a, b := e.Fresh(), e.Fresh()
+	x1 := e.Xor(a, b)
+	n := s.NumClauses()
+	x2 := e.Xor(a, b)
+	if x1 != x2 || s.NumClauses() != n {
+		t.Fatal("Xor not hash-consed")
+	}
+	if e.Xor(b, a) != x1 {
+		t.Fatal("Xor cache not symmetric")
+	}
+	if e.Xor(a.Not(), b) != x1.Not() {
+		t.Fatal("Xor polarity canonicalization broken")
+	}
+	if e.Xor(a.Not(), b.Not()) != x1 {
+		t.Fatal("double negation must cancel")
+	}
+	a1 := e.And(a, b)
+	n = s.NumClauses()
+	if e.And(b, a) != a1 || s.NumClauses() != n {
+		t.Fatal("And not hash-consed")
+	}
+	if e.Or(a, b) != e.Or(a, b) {
+		t.Fatal("Or not hash-consed")
+	}
+}
+
+func TestAndOrConstantFolding(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	a := e.Fresh()
+	if e.And(a, e.True()) != a || e.And(a, e.False()) != e.False() {
+		t.Fatal("And folding broken")
+	}
+	if e.And(a, a) != a || e.And(a, a.Not()) != e.False() {
+		t.Fatal("And idempotence/contradiction broken")
+	}
+	if e.Or(a, e.False()) != a || e.Or(a, e.True()) != e.True() {
+		t.Fatal("Or folding broken")
+	}
+	if e.And(e.True(), e.True()) != e.True() {
+		t.Fatal("And of constants broken")
+	}
+	if e.Mux(e.True(), a, a.Not()) != a.Not() || e.Mux(e.False(), a, a.Not()) != a {
+		t.Fatal("Mux folding broken")
+	}
+	b := e.Fresh()
+	if e.Mux(b, a, a) != a {
+		t.Fatal("Mux equal branches broken")
+	}
+}

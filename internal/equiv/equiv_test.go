@@ -1,0 +1,152 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sim"
+)
+
+func view(t testing.TB, src string) *netlist.CombView {
+	t.Helper()
+	n, err := netlist.ParseBench(strings.NewReader(src), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCheckEquivalentByDeMorgan(t *testing.T) {
+	a := view(t, `
+INPUT(x)
+INPUT(y)
+OUTPUT(z)
+z = NAND(x, y)
+`)
+	b := view(t, `
+INPUT(x)
+INPUT(y)
+OUTPUT(z)
+nx = NOT(x)
+ny = NOT(y)
+z = OR(nx, ny)
+`)
+	res, err := Check(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Counterexample != nil || res.Unknown {
+		t.Fatalf("De Morgan pair not proven equivalent: %+v", res)
+	}
+}
+
+func TestCheckCounterexample(t *testing.T) {
+	a := view(t, "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n")
+	b := view(t, "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = OR(x, y)\n")
+	res, err := Check(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent || res.Counterexample == nil {
+		t.Fatalf("differing circuits not distinguished: %+v", res)
+	}
+	// The counterexample must actually distinguish them.
+	ga := sim.NewComb(a).EvalBits(res.Counterexample)
+	gb := sim.NewComb(b).EvalBits(res.Counterexample)
+	if ga[0] == gb[0] {
+		t.Fatal("counterexample does not distinguish the circuits")
+	}
+}
+
+func TestCheckArityErrors(t *testing.T) {
+	a := view(t, "INPUT(x)\nOUTPUT(z)\nz = NOT(x)\n")
+	b := view(t, "INPUT(x)\nINPUT(y)\nOUTPUT(z)\nz = AND(x, y)\n")
+	if _, err := Check(a, b, 0); err == nil {
+		t.Fatal("want input-arity error")
+	}
+	c := view(t, "INPUT(x)\nOUTPUT(z)\nOUTPUT(w)\nz = NOT(x)\nw = BUFF(x)\n")
+	if _, err := Check(a, c, 0); err == nil {
+		t.Fatal("want output-arity error")
+	}
+}
+
+const keyedSrc = `
+INPUT(x)
+INPUT(k0)
+INPUT(k1)
+OUTPUT(z)
+t = XOR(x, k0)
+z = XOR(t, k1)
+`
+
+func TestCheckKeyedEquivalentKeys(t *testing.T) {
+	v := view(t, keyedSrc)
+	// z = x ^ k0 ^ k1: keys 01 and 10 are functionally identical.
+	res, err := CheckKeyed(v, []int{1, 2}, []bool{false, true}, []bool{true, false}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("XOR-parity-equal keys not proven equivalent: %+v", res)
+	}
+	// Keys 00 and 01 differ (identity vs inverter).
+	res, err = CheckKeyed(v, []int{1, 2}, []bool{false, false}, []bool{false, true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent || res.Counterexample == nil {
+		t.Fatalf("differing keys not distinguished: %+v", res)
+	}
+}
+
+func TestCheckKeyedValidation(t *testing.T) {
+	v := view(t, keyedSrc)
+	if _, err := CheckKeyed(v, []int{1, 2}, []bool{true}, []bool{true, false}, 0); err == nil {
+		t.Fatal("want key-length error")
+	}
+	if _, err := CheckKeyed(v, []int{1, 1}, []bool{true, true}, []bool{true, false}, 0); err == nil {
+		t.Fatal("want duplicate-index error")
+	}
+	if _, err := CheckKeyed(v, []int{1, 99}, []bool{true, true}, []bool{true, false}, 0); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestCheckUnknownUnderBudget(t *testing.T) {
+	// Two large random-ish XOR trees that are equivalent but need real
+	// work: with a 1-conflict budget the solver may give up. (If it solves
+	// within budget the test still passes — Unknown is permitted, not
+	// required.)
+	a := view(t, `
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+OUTPUT(z)
+t0 = XOR(x0, x1)
+t1 = XOR(x2, x3)
+z = XOR(t0, t1)
+`)
+	b := view(t, `
+INPUT(x0)
+INPUT(x1)
+INPUT(x2)
+INPUT(x3)
+OUTPUT(z)
+t0 = XOR(x0, x2)
+t1 = XOR(x1, x3)
+z = XOR(t0, t1)
+`)
+	res, err := Check(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counterexample != nil {
+		t.Fatal("equivalent circuits must not yield a counterexample")
+	}
+}

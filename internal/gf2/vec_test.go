@@ -1,0 +1,150 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestVecSetGet(t *testing.T) {
+	v := NewVec(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	for i := 0; i < 130; i++ {
+		want := false
+		for _, j := range idx {
+			if i == j {
+				want = true
+			}
+		}
+		if v.Get(i) != want {
+			t.Errorf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+	if got := v.PopCount(); got != len(idx) {
+		t.Errorf("PopCount = %d, want %d", got, len(idx))
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Error("clearing bit 64 failed")
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	NewVec(10).Get(10)
+}
+
+func TestVecXorSelfInverse(t *testing.T) {
+	f := func(a, b []bool) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		va, vb := FromBools(a), FromBools(b)
+		w := va.XorInto(vb)
+		w.Xor(vb)
+		return w.Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecDotLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		// (a^b)·c == a·c ^ b·c
+		lhs := a.XorInto(b).Dot(c)
+		rhs := a.Dot(c) != b.Dot(c)
+		if lhs != rhs {
+			t.Fatalf("n=%d: dot not linear", n)
+		}
+	}
+}
+
+func TestVecOnesAndFirstSet(t *testing.T) {
+	v := NewVec(200)
+	for _, i := range []int{3, 64, 199} {
+		v.Set(i, true)
+	}
+	ones := v.Ones()
+	if len(ones) != 3 || ones[0] != 3 || ones[1] != 64 || ones[2] != 199 {
+		t.Errorf("Ones = %v", ones)
+	}
+	if v.FirstSet() != 3 {
+		t.Errorf("FirstSet = %d, want 3", v.FirstSet())
+	}
+	if NewVec(77).FirstSet() != -1 {
+		t.Error("FirstSet of zero vector should be -1")
+	}
+}
+
+func TestVecBoolsRoundTrip(t *testing.T) {
+	f := func(bs []bool) bool {
+		v := FromBools(bs)
+		got := v.Bools()
+		if len(got) != len(bs) {
+			return false
+		}
+		for i := range bs {
+			if got[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := NewVec(5)
+	v.Set(1, true)
+	v.Set(4, true)
+	if got := v.String(); got != "01001" {
+		t.Errorf("String = %q, want 01001", got)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := NewVec(70)
+	v.Set(69, true)
+	w := v.Clone()
+	w.Set(0, true)
+	if v.Get(0) {
+		t.Error("Clone aliases original")
+	}
+	if !w.Get(69) {
+		t.Error("Clone lost bit")
+	}
+}
+
+func TestVecAnd(t *testing.T) {
+	a := FromBools([]bool{true, true, false, false})
+	b := FromBools([]bool{true, false, true, false})
+	a.And(b)
+	if a.String() != "1000" {
+		t.Errorf("And = %s, want 1000", a.String())
+	}
+}

@@ -1,0 +1,238 @@
+// Package lfsr models the Fibonacci linear feedback shift registers that
+// dynamic scan locking defenses (DOS, EFF-Dyn) use as their PRNG.
+//
+// Two views of the same register are provided and kept consistent by
+// construction:
+//
+//   - a concrete LFSR that steps a bit state (what the chip does), and
+//   - a symbolic LFSR that steps GF(2) linear expressions over the seed
+//     bits (what the attacker models, paper Fig. 4 / Algorithm 1).
+//
+// The attacker is assumed to know the feedback polynomial — it is read off
+// the reverse-engineered netlist — but not the seed stored in tamper-proof
+// memory.
+package lfsr
+
+import (
+	"fmt"
+	"sort"
+
+	"dynunlock/internal/gf2"
+)
+
+// Poly describes a Fibonacci LFSR feedback polynomial by its tap positions,
+// 1-indexed: tap t refers to state bit t-1. On every step the feedback bit
+// (XOR of all tapped bits) is shifted into position 0 while every other bit
+// moves one position up.
+type Poly struct {
+	N    int   // register width in bits
+	Taps []int // 1-indexed tap positions, each in [1, N]
+}
+
+// Validate checks structural sanity of the polynomial.
+func (p Poly) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("lfsr: width %d must be positive", p.N)
+	}
+	if len(p.Taps) == 0 {
+		return fmt.Errorf("lfsr: no taps")
+	}
+	seen := make(map[int]bool, len(p.Taps))
+	hasLast := false
+	for _, t := range p.Taps {
+		if t < 1 || t > p.N {
+			return fmt.Errorf("lfsr: tap %d out of range [1,%d]", t, p.N)
+		}
+		if seen[t] {
+			return fmt.Errorf("lfsr: duplicate tap %d", t)
+		}
+		seen[t] = true
+		if t == p.N {
+			hasLast = true
+		}
+	}
+	if !hasLast {
+		// Without a tap on the last bit the register is not a permutation of
+		// its state space (the transition matrix is singular) and the
+		// effective width is smaller than N.
+		return fmt.Errorf("lfsr: taps must include position N=%d", p.N)
+	}
+	return nil
+}
+
+// xapp052 lists maximal-length tap sets for selected widths (Fibonacci
+// form), following the well-known Xilinx XAPP052 table. Widths not present
+// fall back to deterministic synthetic taps; the DynUnlock attack does not
+// require maximal length, only linearity and an invertible transition.
+var xapp052 = map[int][]int{
+	2: {2, 1}, 3: {3, 2}, 4: {4, 3}, 5: {5, 3}, 6: {6, 5}, 7: {7, 6},
+	8: {8, 6, 5, 4}, 9: {9, 5}, 10: {10, 7}, 11: {11, 9}, 12: {12, 6, 4, 1},
+	13: {13, 4, 3, 1}, 14: {14, 5, 3, 1}, 15: {15, 14}, 16: {16, 15, 13, 4},
+	17: {17, 14}, 18: {18, 11}, 19: {19, 6, 2, 1}, 20: {20, 17},
+	21: {21, 19}, 22: {22, 21}, 23: {23, 18}, 24: {24, 23, 22, 17},
+	25: {25, 22}, 26: {26, 6, 2, 1}, 27: {27, 5, 2, 1}, 28: {28, 25},
+	29: {29, 27}, 30: {30, 6, 4, 1}, 31: {31, 28}, 32: {32, 22, 2, 1},
+	33: {33, 20}, 40: {40, 38, 21, 19}, 48: {48, 47, 21, 20},
+	64: {64, 63, 61, 60}, 96: {96, 94, 49, 47}, 128: {128, 126, 101, 99},
+}
+
+// DefaultPoly returns a feedback polynomial for width n: a published
+// maximal-length tap set when one is tabulated, otherwise a deterministic
+// four-tap fallback (always including taps n and 1, so the transition matrix
+// is invertible). The choice is stable across runs.
+func DefaultPoly(n int) Poly {
+	if taps, ok := xapp052[n]; ok {
+		t := append([]int(nil), taps...)
+		sort.Sort(sort.Reverse(sort.IntSlice(t)))
+		return Poly{N: n, Taps: t}
+	}
+	if n == 1 {
+		return Poly{N: 1, Taps: []int{1}}
+	}
+	// Deterministic fallback: n, two interior taps spread by a width-derived
+	// stride, and 1. Duplicates are collapsed.
+	a := 1 + (n*5)/8
+	b := 1 + (n*3)/8
+	set := map[int]bool{n: true, 1: true, a: true, b: true}
+	taps := make([]int, 0, len(set))
+	for t := range set {
+		taps = append(taps, t)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(taps)))
+	return Poly{N: n, Taps: taps}
+}
+
+// LFSR is a concrete Fibonacci LFSR instance.
+type LFSR struct {
+	poly  Poly
+	state gf2.Vec
+}
+
+// New creates an LFSR with the given polynomial, seeded to all zeros.
+// Note the all-zero seed is a fixed point for XOR feedback; callers locking
+// a design should seed with a nonzero value (see Seed).
+func New(p Poly) (*LFSR, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &LFSR{poly: p, state: gf2.NewVec(p.N)}, nil
+}
+
+// MustNew is New, panicking on an invalid polynomial. Intended for
+// table-driven construction with known-good polynomials.
+func MustNew(p Poly) *LFSR {
+	l, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Poly returns the feedback polynomial.
+func (l *LFSR) Poly() Poly { return l.poly }
+
+// N returns the register width.
+func (l *LFSR) N() int { return l.poly.N }
+
+// Seed resets the register state to the given seed. The seed length must
+// equal the register width.
+func (l *LFSR) Seed(seed gf2.Vec) {
+	if seed.Len() != l.poly.N {
+		panic(fmt.Sprintf("lfsr: seed length %d, want %d", seed.Len(), l.poly.N))
+	}
+	l.state = seed.Clone()
+}
+
+// State returns a copy of the current register state.
+func (l *LFSR) State() gf2.Vec { return l.state.Clone() }
+
+// Bit returns state bit i without stepping.
+func (l *LFSR) Bit(i int) bool { return l.state.Get(i) }
+
+// Step advances the register by one clock cycle.
+func (l *LFSR) Step() {
+	fb := false
+	for _, t := range l.poly.Taps {
+		if l.state.Get(t - 1) {
+			fb = !fb
+		}
+	}
+	for i := l.poly.N - 1; i > 0; i-- {
+		l.state.Set(i, l.state.Get(i-1))
+	}
+	l.state.Set(0, fb)
+}
+
+// StepN advances the register by n cycles.
+func (l *LFSR) StepN(n int) {
+	for i := 0; i < n; i++ {
+		l.Step()
+	}
+}
+
+// TransitionMatrix returns the N×N matrix L with state(t+1) = L·state(t).
+func (p Poly) TransitionMatrix() *gf2.Mat {
+	m := gf2.NewMat(p.N, p.N)
+	for _, t := range p.Taps {
+		m.Set(0, t-1, true)
+	}
+	for i := 1; i < p.N; i++ {
+		m.Set(i, i-1, true)
+	}
+	return m
+}
+
+// Symbolic steps the register symbolically: each state bit is a GF(2)
+// linear combination of the seed bits. At construction, bit i equals seed
+// bit i (the identity).
+type Symbolic struct {
+	poly Poly
+	rows []gf2.Vec // rows[i] = expression of state bit i over the seed
+}
+
+// NewSymbolic returns a symbolic register initialized to the seed identity.
+func NewSymbolic(p Poly) (*Symbolic, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Symbolic{poly: p, rows: make([]gf2.Vec, p.N)}
+	for i := range s.rows {
+		s.rows[i] = gf2.Unit(p.N, i)
+	}
+	return s, nil
+}
+
+// Step advances the symbolic state by one cycle.
+func (s *Symbolic) Step() {
+	fb := gf2.NewVec(s.poly.N)
+	for _, t := range s.poly.Taps {
+		fb.Xor(s.rows[t-1])
+	}
+	copy(s.rows[1:], s.rows[:len(s.rows)-1])
+	s.rows[0] = fb
+}
+
+// Row returns the seed-expression of state bit i at the current cycle.
+// The returned vector is a copy.
+func (s *Symbolic) Row(i int) gf2.Vec { return s.rows[i].Clone() }
+
+// StateMatrix returns the current state as a matrix M with
+// state(t) = M·seed. Row i is the expression of bit i.
+func (s *Symbolic) StateMatrix() *gf2.Mat {
+	return gf2.FromRows(s.rows)
+}
+
+// UnrollStates returns the symbolic state matrices for cycles 0..cycles-1:
+// out[t]·seed = register state during cycle t (out[0] = identity).
+func UnrollStates(p Poly, cycles int) ([]*gf2.Mat, error) {
+	s, err := NewSymbolic(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*gf2.Mat, cycles)
+	for t := 0; t < cycles; t++ {
+		out[t] = s.StateMatrix()
+		s.Step()
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+package lfsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynunlock/internal/gf2"
+)
+
+func randSeed(rng *rand.Rand, n int) gf2.Vec {
+	v := gf2.NewVec(n)
+	any := false
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i, true)
+			any = true
+		}
+	}
+	if !any {
+		v.Set(rng.Intn(n), true)
+	}
+	return v
+}
+
+func TestPolyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Poly
+		ok   bool
+	}{
+		{"good", Poly{N: 4, Taps: []int{4, 3}}, true},
+		{"zero width", Poly{N: 0, Taps: []int{1}}, false},
+		{"no taps", Poly{N: 4}, false},
+		{"tap out of range", Poly{N: 4, Taps: []int{5, 4}}, false},
+		{"tap below range", Poly{N: 4, Taps: []int{0, 4}}, false},
+		{"duplicate tap", Poly{N: 4, Taps: []int{4, 4}}, false},
+		{"missing last tap", Poly{N: 4, Taps: []int{3, 2}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDefaultPolyAlwaysValid(t *testing.T) {
+	for n := 1; n <= 400; n++ {
+		p := DefaultPoly(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("width %d: %v", n, err)
+		}
+		if p.N != n {
+			t.Fatalf("width %d: got N=%d", n, p.N)
+		}
+	}
+}
+
+// Tabulated polynomials must reach the maximal period 2^n - 1 for the small
+// widths where exhaustive cycling is cheap.
+func TestMaximalPeriodSmallWidths(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16} {
+		l := MustNew(DefaultPoly(n))
+		seed := gf2.Unit(n, 0)
+		l.Seed(seed)
+		period := 0
+		for {
+			l.Step()
+			period++
+			if l.State().Equal(seed) {
+				break
+			}
+			if period > 1<<uint(n) {
+				t.Fatalf("width %d: period exceeds state space", n)
+			}
+		}
+		if period != 1<<uint(n)-1 {
+			t.Errorf("width %d: period %d, want %d", n, period, 1<<uint(n)-1)
+		}
+	}
+}
+
+func TestZeroStateFixedPoint(t *testing.T) {
+	l := MustNew(DefaultPoly(8))
+	l.StepN(5)
+	if !l.State().IsZero() {
+		t.Fatal("zero state must be a fixed point of XOR feedback")
+	}
+}
+
+// The symbolic register must agree with the concrete register for every
+// cycle and every seed: state(t) = M(t)·seed.
+func TestSymbolicMatchesConcrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{3, 8, 16, 37, 128} {
+		p := DefaultPoly(n)
+		mats, err := UnrollStates(p, 3*n+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			seed := randSeed(rng, n)
+			l := MustNew(p)
+			l.Seed(seed)
+			for tcyc, m := range mats {
+				want := l.State()
+				got := m.MulVec(seed)
+				if !got.Equal(want) {
+					t.Fatalf("n=%d cycle=%d: symbolic %s != concrete %s", n, tcyc, got, want)
+				}
+				l.Step()
+			}
+		}
+	}
+}
+
+// The transition matrix must be invertible (bijective state update) and
+// must reproduce single-step evolution.
+func TestTransitionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{4, 16, 128, 144, 368} {
+		p := DefaultPoly(n)
+		L := p.TransitionMatrix()
+		if gf2.Rank(L) != n {
+			t.Fatalf("width %d: transition matrix singular", n)
+		}
+		seed := randSeed(rng, n)
+		l := MustNew(p)
+		l.Seed(seed)
+		l.Step()
+		if !L.MulVec(seed).Equal(l.State()) {
+			t.Fatalf("width %d: L·s != step(s)", n)
+		}
+	}
+}
+
+// M(t) must equal L^t for all t, tying the two symbolic views together.
+func TestUnrollMatchesMatrixPower(t *testing.T) {
+	p := DefaultPoly(16)
+	L := p.TransitionMatrix()
+	mats, err := UnrollStates(p, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := gf2.Identity(16)
+	for tcyc, m := range mats {
+		for i := 0; i < 16; i++ {
+			if !m.Row(i).Equal(power.Row(i)) {
+				t.Fatalf("cycle %d row %d: M(t) != L^t", tcyc, i)
+			}
+		}
+		power = L.Mul(power)
+	}
+}
+
+func TestSeedLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustNew(DefaultPoly(8)).Seed(gf2.NewVec(7))
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Poly{N: 3, Taps: []int{2}}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// For the paper's key widths, the first 2n unrolled states must together
+// have full rank n: every seed bit influences the key stream, which is the
+// property that lets larger circuits pin down the unique seed.
+func TestUnrolledStatesFullRank(t *testing.T) {
+	for _, n := range []int{128, 144, 256, 368} {
+		p := DefaultPoly(n)
+		mats, err := UnrollStates(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stacked := gf2.VStack(mats[0], mats[1])
+		if gf2.Rank(stacked) != n {
+			t.Errorf("width %d: unrolled states rank-deficient", n)
+		}
+	}
+}
+
+func BenchmarkStep128(b *testing.B) {
+	l := MustNew(DefaultPoly(128))
+	l.Seed(gf2.Unit(128, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+func BenchmarkUnroll128x3500(b *testing.B) {
+	p := DefaultPoly(128)
+	for i := 0; i < b.N; i++ {
+		if _, err := UnrollStates(p, 3500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNLFSRBasics(t *testing.T) {
+	if _, err := NewNLFSR(DefaultPoly(8), nil); err == nil {
+		t.Fatal("want error for no AND pairs")
+	}
+	if _, err := NewNLFSR(DefaultPoly(8), [][2]int{{0, 8}}); err == nil {
+		t.Fatal("want error for out-of-range AND tap")
+	}
+	if _, err := DefaultNLFSR(2); err == nil {
+		t.Fatal("want error for tiny width")
+	}
+	r, err := DefaultNLFSR(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 8 || len(r.AndPairs()) == 0 || r.Poly().N != 8 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// The NLFSR key stream must NOT be linear in the seed: superposition must
+// fail for some seed pair, unlike the LFSR where it always holds.
+func TestNLFSRIsNonlinear(t *testing.T) {
+	n := 8
+	r, err := DefaultNLFSR(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(reg Register, seed gf2.Vec, cycles int) []gf2.Vec {
+		reg.Seed(seed)
+		var out []gf2.Vec
+		for c := 0; c < cycles; c++ {
+			out = append(out, reg.State())
+			reg.Step()
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(77))
+	linearEverywhere := true
+	for trial := 0; trial < 50 && linearEverywhere; trial++ {
+		s1, s2 := randSeed(rng, n), randSeed(rng, n)
+		sum := s1.XorInto(s2)
+		a := stream(r, s1, 20)
+		b := stream(r, s2, 20)
+		c := stream(r, sum, 20)
+		for i := range a {
+			if !a[i].XorInto(b[i]).Equal(c[i]) {
+				linearEverywhere = false
+				break
+			}
+		}
+	}
+	if linearEverywhere {
+		t.Fatal("NLFSR stream is linear; AND terms ineffective")
+	}
+	// Control: the LFSR must satisfy superposition everywhere.
+	l := MustNew(DefaultPoly(n))
+	for trial := 0; trial < 20; trial++ {
+		s1, s2 := randSeed(rng, n), randSeed(rng, n)
+		sum := s1.XorInto(s2)
+		a := stream(l, s1, 20)
+		b := stream(l, s2, 20)
+		c := stream(l, sum, 20)
+		for i := range a {
+			if !a[i].XorInto(b[i]).Equal(c[i]) {
+				t.Fatal("LFSR failed superposition")
+			}
+		}
+	}
+}
+
+func TestNLFSRSeedPanics(t *testing.T) {
+	r, _ := DefaultNLFSR(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	r.Seed(gf2.NewVec(7))
+}

@@ -1,0 +1,242 @@
+// Package oracle simulates the working chip the attacker owns: a scan-
+// locked sequential circuit with the test authentication scheme of the
+// paper's Fig. 2. The chip holds two secrets in tamper-proof memory — the
+// scan-locking secret key SK and the PRNG seed — and exposes exactly what
+// silicon exposes: reset, functional clocking, and scan test sessions.
+//
+// The scan session is simulated cycle by cycle (shift register moves,
+// key gates XOR, LFSR steps), deliberately *not* reusing the closed-form
+// mask algebra of internal/scan. Property tests in internal/core assert
+// the attacker's combinational model reproduces this simulation bit for
+// bit, which validates Algorithm 1.
+package oracle
+
+import (
+	"crypto/subtle"
+	"fmt"
+
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/lfsr"
+	"dynunlock/internal/lock"
+	"dynunlock/internal/scan"
+	"dynunlock/internal/sim"
+)
+
+// Stats counts attacker-visible interactions.
+type Stats struct {
+	Sessions uint64 // scan test sessions served
+	Cycles   uint64 // total clock cycles consumed
+	Resets   uint64
+}
+
+// Chip is a fabricated, functional, scan-locked IC.
+type Chip struct {
+	design *lock.Design
+	seq    *sim.Seq
+
+	secretSeed gf2.Vec // LFSR seed (dynamic) or static key register value
+	authKey    []bool  // SK: the externally matched test key (Fig. 2)
+
+	reg         lfsr.Register
+	lfsrSteps   int
+	flops       []bool
+	globalCycle int
+	patterns    int
+
+	// linkBits[j] lists the key-register bits XORed on link j.
+	linkBits [][]int
+
+	Stats Stats
+}
+
+// New fabricates a chip. secretSeed must have the design's key width; for
+// dynamic policies it must be nonzero (the all-zero LFSR state is a fixed
+// point and would degenerate the defense). authKey is the scan-locking
+// secret key SK used by the test authentication comparator.
+func New(d *lock.Design, secretSeed gf2.Vec, authKey []bool) (*Chip, error) {
+	if secretSeed.Len() != d.Config.KeyBits {
+		return nil, fmt.Errorf("oracle: seed width %d, want %d", secretSeed.Len(), d.Config.KeyBits)
+	}
+	if d.Config.Policy != scan.Static && secretSeed.IsZero() {
+		return nil, fmt.Errorf("oracle: all-zero LFSR seed is degenerate")
+	}
+	if len(authKey) != d.Config.KeyBits {
+		return nil, fmt.Errorf("oracle: auth key width %d, want %d", len(authKey), d.Config.KeyBits)
+	}
+	c := &Chip{
+		design:     d,
+		seq:        sim.NewSeq(d.View),
+		secretSeed: secretSeed.Clone(),
+		authKey:    append([]bool(nil), authKey...),
+		flops:      make([]bool, d.Chain.Length),
+		linkBits:   make([][]int, d.Chain.Length),
+	}
+	for _, g := range d.Chain.Gates {
+		c.linkBits[g.Link] = append(c.linkBits[g.Link], g.KeyBit)
+	}
+	if d.Config.Policy != scan.Static {
+		reg, err := d.NewRegister()
+		if err != nil {
+			return nil, err
+		}
+		c.reg = reg
+	}
+	c.Reset()
+	c.Stats = Stats{}
+	return c, nil
+}
+
+// Design returns the attacker-visible structural description.
+func (c *Chip) Design() *lock.Design { return c.design }
+
+// Reset asserts the chip reset: flip-flops clear, the PRNG reloads the
+// secret seed, and the pattern/cycle counters restart.
+func (c *Chip) Reset() {
+	for i := range c.flops {
+		c.flops[i] = false
+	}
+	if c.reg != nil {
+		c.reg.Seed(c.secretSeed)
+	}
+	c.lfsrSteps = 0
+	c.globalCycle = 0
+	c.patterns = 0
+	c.Stats.Resets++
+}
+
+// keyRegister returns the key-register value effective at the current
+// global cycle, honoring the update policy. The register is the LFSR state
+// for dynamic policies and the static secret for Static.
+func (c *Chip) keyRegister() []bool {
+	if c.design.Config.Policy == scan.Static {
+		return c.secretSeed.Bools()
+	}
+	target := c.design.Config.Policy.Steps(c.patterns, c.globalCycle, c.design.Config.Period)
+	// The LFSR only runs forward; Reset is the only rewind.
+	for ; c.lfsrSteps < target; c.lfsrSteps++ {
+		c.reg.Step()
+	}
+	return c.reg.State().Bools()
+}
+
+// Session runs one scan test session: shift in scanIn (bit j destined for
+// chain flop j), one capture with primary inputs pi, shift out. It returns
+// the observed scan-out (scanOut[j] is the bit that corresponds to captured
+// flop j) and the primary outputs sampled during capture.
+//
+// If testKey matches the secret SK, the key gates are driven by that static
+// key for the whole session (the trusted-tester path of Fig. 2); otherwise
+// the policy-driven dynamic key scrambles the scan data.
+func (c *Chip) Session(testKey, scanIn, pi []bool) (scanOut, po []bool) {
+	out, pos := c.SessionN(testKey, scanIn, [][]bool{pi})
+	return out, pos[0]
+}
+
+// SessionN runs a session with len(pis) consecutive capture cycles (the
+// paper's multi-capture extension): shift in, capture once per entry of
+// pis, shift out the final state. It returns the observed scan-out and the
+// primary outputs sampled at each capture.
+func (c *Chip) SessionN(testKey, scanIn []bool, pis [][]bool) (scanOut []bool, pos [][]bool) {
+	d := c.design
+	n := d.Chain.Length
+	if len(scanIn) != n {
+		panic(fmt.Sprintf("oracle: scan-in length %d, want %d", len(scanIn), n))
+	}
+	if len(pis) < 1 {
+		panic("oracle: need at least one capture")
+	}
+	for _, pi := range pis {
+		if len(pi) != d.View.NumPI {
+			panic(fmt.Sprintf("oracle: %d PIs, want %d", len(pi), d.View.NumPI))
+		}
+	}
+	match := len(testKey) == len(c.authKey) && constantTimeEqual(testKey, c.authKey)
+
+	key := func() []bool {
+		if match {
+			return c.authKey
+		}
+		return c.keyRegister()
+	}
+
+	// Shift-in: n edges.
+	for t := 0; t < n; t++ {
+		c.shiftEdge(scanIn[n-1-t], key())
+		c.tick()
+	}
+	// Capture edges: key gates idle for scan data; the PRNG still clocks.
+	c.seq.SetState(c.flops)
+	for _, pi := range pis {
+		pos = append(pos, c.seq.Step(pi))
+		c.tick()
+	}
+	copy(c.flops, c.seq.State())
+	// Shift-out: observe before each edge.
+	scanOut = make([]bool, n)
+	first := n + len(pis)
+	for t := first; t < first+n; t++ {
+		scanOut[first+n-1-t] = c.flops[n-1]
+		c.shiftEdge(false, key())
+		c.tick()
+	}
+	c.patterns++
+	c.Stats.Sessions++
+	return scanOut, pos
+}
+
+// shiftEdge moves the scan chain one position, applying key-gate XORs on
+// every link, and feeds si into flop 0.
+func (c *Chip) shiftEdge(si bool, key []bool) {
+	n := c.design.Chain.Length
+	for j := n - 1; j >= 1; j-- {
+		v := c.flops[j-1]
+		for _, bit := range c.linkBits[j] {
+			if key[bit] {
+				v = !v
+			}
+		}
+		c.flops[j] = v
+	}
+	c.flops[0] = si
+}
+
+func (c *Chip) tick() {
+	c.globalCycle++
+	c.Stats.Cycles++
+}
+
+func constantTimeEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var ba, bb []byte
+	for i := range a {
+		ba = append(ba, boolByte(a[i]))
+		bb = append(bb, boolByte(b[i]))
+	}
+	return subtle.ConstantTimeCompare(ba, bb) == 1
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FunctionalStep clocks the chip one cycle in functional mode (scan
+// disabled): primary inputs applied, primary outputs sampled, state
+// advances. Included for completeness of the chip model; the attack itself
+// only needs Session.
+func (c *Chip) FunctionalStep(pi []bool) (po []bool) {
+	c.seq.SetState(c.flops)
+	po = c.seq.Step(pi)
+	copy(c.flops, c.seq.State())
+	c.tick()
+	return po
+}
+
+// SecretSeed exposes the programmed secret for experiment verification
+// (checking that a recovered candidate set contains the truth). A real
+// attacker has no such access.
+func (c *Chip) SecretSeed() gf2.Vec { return c.secretSeed.Clone() }

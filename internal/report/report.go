@@ -1,0 +1,94 @@
+// Package report renders experiment results as aligned text tables in the
+// style of the paper's Tables I–III.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, wd := range width {
+		total += wd + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Table II", "Benchmark", "# Key bits", "# Seed candidates", "Time (s)")
+	tb.AddRow("s5378", 128, 16, 41.0)
+	tb.AddRow("s13207", 128, 128, 26.5)
+	out := tb.String()
+	if !strings.Contains(out, "Table II") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "s5378") || !strings.Contains(lines[3], "41") {
+		t.Fatalf("row formatting: %q", lines[3])
+	}
+	if strings.Contains(lines[3], "41.00") {
+		t.Fatal("trailing zeros not trimmed")
+	}
+	if !strings.Contains(lines[4], "26.5") {
+		t.Fatalf("float kept: %q", lines[4])
+	}
+	// Columns aligned: the header column start of col 2 equals row col 2.
+	hIdx := strings.Index(lines[1], "# Key bits")
+	rIdx := strings.Index(lines[3], "128")
+	if hIdx != rIdx {
+		t.Fatalf("column misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow(1, 2)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("stray blank title line")
+	}
+}

@@ -1,0 +1,101 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+
+	"dynunlock/internal/cnf"
+)
+
+// Classic small DIMACS instances exercised through the cnf loader.
+func TestDimacsInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Status
+	}{
+		{
+			name: "simple sat",
+			src: `c trivial
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`,
+			want: Sat,
+		},
+		{
+			name: "unsat chain",
+			src: `p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+-1 -2 0
+`,
+			want: Unsat,
+		},
+		{
+			name: "aim-style implication ladder",
+			src: `p cnf 6 9
+1 0
+-1 2 0
+-2 3 0
+-3 4 0
+-4 5 0
+-5 6 0
+-6 -1 0
+2 4 6 0
+-2 -4 0
+`,
+			want: Unsat,
+		},
+	}
+	for _, tc := range cases {
+		f, err := cnf.ParseDimacs(strings.NewReader(tc.src))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		s := New()
+		s.AddFormula(f)
+		if got := s.Solve(); got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+		if tc.want == Sat && !f.Eval(s.Model()[:f.NumVars]) {
+			t.Errorf("%s: model invalid", tc.name)
+		}
+	}
+}
+
+// Incremental reuse across many Solve calls with interleaved clause adds.
+func TestIncrementalManyRounds(t *testing.T) {
+	s := New()
+	n := 30
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// Chain of implications x0 -> x1 -> ... -> x29.
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(cnf.MkLit(vars[i], true), cnf.MkLit(vars[i+1], false))
+	}
+	for round := 0; round < n-1; round++ {
+		if s.Solve(cnf.MkLit(vars[0], false)) != Sat {
+			t.Fatalf("round %d: UNSAT", round)
+		}
+		for i := 0; i < n; i++ {
+			if !s.Value(vars[i]) {
+				t.Fatalf("round %d: implication chain broken at %d", round, i)
+			}
+		}
+		// Progressively forbid suffix variables unless x0 is false.
+		s.AddClause(cnf.MkLit(vars[0], true), cnf.MkLit(vars[n-1], false))
+	}
+	// Finally force the contradiction.
+	s.AddClause(cnf.MkLit(vars[n-1], true))
+	if s.Solve(cnf.MkLit(vars[0], false)) != Unsat {
+		t.Fatal("want UNSAT under assumption")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("solver must remain usable")
+	}
+}

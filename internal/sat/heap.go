@@ -1,0 +1,98 @@
+package sat
+
+// varHeap is an indexed max-heap of variables ordered by activity. It
+// supports decrease/increase-key via the position index, as required by
+// VSIDS branching.
+type varHeap struct {
+	act     *[]float64 // shared activity array, indexed by variable
+	heap    []int      // heap of variables
+	indices []int      // variable -> position in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) grow(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v int) bool {
+	return v < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) insert(v int) {
+	h.grow(v)
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.percolateUp(h.indices[v])
+}
+
+func (h *varHeap) removeMax() int {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap[0] = last
+	h.indices[last] = 0
+	h.indices[v] = -1
+	h.heap = h.heap[:len(h.heap)-1]
+	if len(h.heap) > 1 {
+		h.percolateDown(0)
+	}
+	return v
+}
+
+// decrease notifies the heap that v's activity increased (so it may need to
+// move up; the name follows the MiniSat convention of a min-heap on
+// negated activity).
+func (h *varHeap) bump(v int) {
+	if h.contains(v) {
+		h.percolateUp(h.indices[v])
+	}
+}
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && h.less(h.heap[r], h.heap[l]) {
+			child = r
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[child]] = i
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

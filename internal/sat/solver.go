@@ -1,0 +1,747 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the MiniSat lineage: two-watched-literal propagation, VSIDS
+// branching with phase saving, first-UIP conflict analysis with clause
+// minimization, Luby restarts, and LBD-guided learnt-clause database
+// reduction. It supports incremental solving under assumptions, which the
+// oracle-guided SAT attack uses to add distinguishing-input constraints
+// between calls.
+//
+// The solver exists because the reproduction environment provides no
+// importable SAT solver; the paper used lingeling. Iteration and candidate
+// counts of the attack are solver-independent; only wall-clock scale
+// differs.
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"dynunlock/internal/cnf"
+)
+
+// Status is the result of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted
+	Sat
+	Unsat
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits   []cnf.Lit
+	act    float64
+	lbd    int32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+// Stats accumulates solver counters across Solve calls.
+type Stats struct {
+	Decisions    uint64
+	Propagations uint64
+	Conflicts    uint64
+	Restarts     uint64
+	Learnt       uint64
+	Removed      uint64
+}
+
+// Solver is an incremental CDCL SAT solver. The zero value is not usable;
+// call New.
+type Solver struct {
+	ok      bool
+	clauses []*clause
+	learnts []*clause
+
+	watches  [][]watcher // indexed by cnf.Lit
+	assigns  []lbool     // indexed by variable
+	polarity []bool      // saved phase, true = last assigned false
+	activity []float64
+	level    []int32
+	reason   []*clause
+	seen     []byte
+
+	order    *varHeap
+	varInc   float64
+	varDecay float64
+
+	claInc   float64
+	claDecay float64
+
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	maxLearnts   float64
+	learntGrowth float64
+
+	// Glucose-style restart state: exponential moving averages of learnt-
+	// clause LBD (fast/slow) and of trail size at conflicts.
+	lbdFast, lbdSlow float64
+	trailAvg         float64
+
+	model    []bool
+	conflict []cnf.Lit // final conflict clause over assumptions
+
+	// ConflictBudget, when positive, bounds the total number of conflicts a
+	// Solve call may spend before returning Unknown.
+	ConflictBudget int64
+
+	Stats Stats
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		ok:           true,
+		varInc:       1.0,
+		varDecay:     0.95,
+		claInc:       1.0,
+		claDecay:     0.999,
+		learntGrowth: 1.1,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, true)
+	s.activity = append(s.activity, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of variables allocated.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// ensureVars allocates variables up to and including v.
+func (s *Solver) ensureVars(v int) {
+	for len(s.assigns) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) value(l cnf.Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a problem clause. It returns false if the solver is
+// already in an unsatisfiable state at the top level. Clauses may be added
+// between Solve calls (incremental use).
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Normalize: sort, dedupe, drop false-at-top-level literals, detect
+	// tautologies and satisfied clauses.
+	ls := make([]cnf.Lit, len(lits))
+	copy(ls, lits)
+	for _, l := range ls {
+		s.ensureVars(l.Var())
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev cnf.Lit = -1
+	for _, l := range ls {
+		switch {
+		case s.value(l) == lTrue || l == prev.Not() && prev != -1:
+			return true // satisfied or tautological
+		case s.value(l) == lFalse || l == prev:
+			continue // false at level 0, or duplicate
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]cnf.Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+// AddFormula adds every clause of f, allocating variables as needed.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	s.ensureVars(f.NumVars - 1)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return s.ok
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0], c.lits[1]
+	s.watches[w0.Not()] = append(s.watches[w0.Not()], watcher{c, w1})
+	s.watches[w1.Not()] = append(s.watches[w1.Not()], watcher{c, w0})
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []cnf.Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[w]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) uncheckedEnqueue(p cnf.Lit, from *clause) {
+	v := p.Var()
+	if p.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, p)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		falseLit := p.Not()
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[n] = watcher{c, first}
+				n++
+				continue
+			}
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nw := lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// No new watch: clause is unit or conflicting.
+			ws[n] = watcher{c, first}
+			n++
+			if s.value(first) == lFalse {
+				// Conflict: copy remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		p := s.trail[i]
+		v := p.Var()
+		s.assigns[v] = lUndef
+		s.polarity[v] = p.Sign()
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.qhead = len(s.trail)
+	s.trailLim = s.trailLim[:lvl]
+}
+
+func (s *Solver) varBump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.bump(v)
+}
+
+func (s *Solver) claBump(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{0} // placeholder for asserting literal
+	pathC := 0
+	var p cnf.Lit = -1
+	index := len(s.trail) - 1
+	for {
+		lits := confl.lits
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		for _, q := range lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.varBump(v)
+				s.seen[v] = 1
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[index].Var()] == 0 {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization (local): drop literals implied by the rest.
+	toClear := make([]int, 0, len(learnt))
+	for _, l := range learnt {
+		toClear = append(toClear, l.Var())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		if r == nil {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits[1:] {
+			if s.seen[q.Var()] == 0 && s.level[q.Var()] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+	for _, v := range toClear {
+		s.seen[v] = 0
+	}
+
+	// Backtrack level: highest level among the non-asserting literals.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+// analyzeFinal computes the subset of assumptions responsible for falsifying
+// p, stored in s.conflict.
+func (s *Solver) analyzeFinal(p cnf.Lit) {
+	s.conflict = s.conflict[:0]
+	s.conflict = append(s.conflict, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			s.conflict = append(s.conflict, s.trail[i].Not())
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}
+
+func (s *Solver) lbd(lits []cnf.Lit) int32 {
+	levels := map[int32]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(levels))
+}
+
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return a.lbd <= 2
+		}
+		if (len(a.lits) == 2) != (len(b.lits) == 2) {
+			return len(a.lits) == 2
+		}
+		return a.act > b.act
+	})
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		// Glue and binary clauses sort to the front and survive while the
+		// budget allows; beyond the halfway point only clauses that are
+		// the reason for a current assignment are exempt. (A blanket
+		// exemption for low-LBD clauses would let XOR-heavy instances,
+		// whose learnt clauses are mostly glue, defeat the reduction and
+		// thrash this routine.)
+		if i < limit || s.locked(c) {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+			s.Stats.Removed++
+		}
+	}
+	s.learnts = keep
+	// If locked clauses alone exceed the budget, grow it to avoid calling
+	// reduceDB on every decision.
+	if float64(len(s.learnts)) >= s.maxLearnts {
+		s.maxLearnts = float64(len(s.learnts)) * 1.5
+	}
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return s.value(c.lits[0]) == lTrue && s.reason[c.lits[0].Var()] == c
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity.
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby returns the Luby sequence value for index i (1-based) with unit y.
+func luby(y float64, i int) float64 {
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	p := 1.0
+	for k := 0; k < seq; k++ {
+		p *= y
+	}
+	return p
+}
+
+// search runs CDCL until a result or until a restart is due: either the
+// Luby budget nofConflicts is exhausted or the Glucose condition fires
+// (recent learnt-clause LBDs much worse than the long-run average,
+// suppressed while the trail is unusually deep, i.e. the solver appears
+// close to a model).
+func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
+	conflictC := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			var lbd int32 = 1
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true}
+				c.lbd = s.lbd(c.lits)
+				lbd = c.lbd
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.Stats.Learnt++
+			}
+			// Exponential moving averages for the restart policy.
+			s.lbdFast += (float64(lbd) - s.lbdFast) / 32
+			s.lbdSlow += (float64(lbd) - s.lbdSlow) / 4096
+			s.trailAvg += (float64(len(s.trail)) - s.trailAvg) / 4096
+			s.varInc /= s.varDecay
+			s.claInc /= s.claDecay
+			continue
+		}
+
+		// No conflict.
+		restart := nofConflicts >= 0 && conflictC >= nofConflicts
+		if !restart && conflictC >= 64 && s.Stats.Conflicts > 4096 &&
+			s.lbdFast > 1.25*s.lbdSlow &&
+			float64(len(s.trail)) < 1.4*s.trailAvg {
+			restart = true
+		}
+		if restart {
+			s.cancelUntil(0)
+			s.Stats.Restarts++
+			return Unknown
+		}
+		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		// Assumptions first, then VSIDS decision.
+		var next cnf.Lit = -1
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+			case lFalse:
+				s.analyzeFinal(p.Not())
+				return Unsat
+			default:
+				next = p
+			}
+			if next != -1 {
+				break
+			}
+		}
+		if next == -1 {
+			v := s.pickBranchVar()
+			if v == -1 {
+				// All variables assigned: model found.
+				s.model = make([]bool, len(s.assigns))
+				for i, a := range s.assigns {
+					s.model[i] = a == lTrue
+				}
+				return Sat
+			}
+			s.Stats.Decisions++
+			next = cnf.MkLit(v, s.polarity[v])
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Solve determines satisfiability under the given assumptions. With no
+// assumptions the result is a definitive Sat/Unsat unless ConflictBudget is
+// exceeded (Unknown). After Sat, Model/Value are valid; after Unsat under
+// assumptions, Conflict returns the failing assumption subset.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		s.ensureVars(a.Var())
+	}
+	s.conflict = s.conflict[:0]
+	s.model = nil
+	s.maxLearnts = float64(len(s.clauses)) / 3
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+	status := Unknown
+	for restarts := 0; status == Unknown; restarts++ {
+		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
+			break
+		}
+		base := luby(2, restarts) * 100
+		status = s.search(int64(base), assumptions)
+		s.maxLearnts *= s.learntGrowth
+	}
+	s.cancelUntil(0)
+	return status
+}
+
+// Model returns the satisfying assignment from the last Sat result,
+// indexed by variable. The slice is owned by the solver.
+func (s *Solver) Model() []bool {
+	if s.model == nil {
+		panic("sat: Model called without a SAT result")
+	}
+	return s.model
+}
+
+// Value returns variable v's value in the last model.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a SAT result")
+	}
+	if v >= len(s.model) {
+		return false
+	}
+	return s.model[v]
+}
+
+// Conflict returns the failed assumption literals (negated) from the last
+// assumption-UNSAT result.
+func (s *Solver) Conflict() []cnf.Lit { return s.conflict }
+
+// Okay reports whether the solver is still consistent at the top level.
+func (s *Solver) Okay() bool { return s.ok }
+
+// NumClauses returns the number of problem clauses currently attached.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// String summarizes solver state.
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver{vars: %d, clauses: %d, learnts: %d, conflicts: %d}",
+		s.NumVars(), len(s.clauses), len(s.learnts), s.Stats.Conflicts)
+}
+
+// BumpActivity raises a variable's VSIDS activity, biasing the branching
+// order toward it. Attack drivers use this to make the solver resolve key
+// variables first, which shortens miter searches.
+func (s *Solver) BumpActivity(v int, amount float64) {
+	s.ensureVars(v)
+	s.activity[v] += amount * s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.bump(v)
+}
+
+// WriteDimacs dumps the current problem — top-level unit assignments and
+// problem clauses (learnt clauses excluded) — in DIMACS CNF format. The
+// paper's methodology dumps the CNF after each attack iteration to inspect
+// recovered seed bits; satattack exposes this through its DumpCNF option.
+func (s *Solver) WriteDimacs(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	units := 0
+	if len(s.trailLim) == 0 {
+		units = len(s.trail)
+	} else {
+		units = s.trailLim[0]
+	}
+	if !s.ok {
+		fmt.Fprintf(bw, "p cnf %d 1\n0\n", s.NumVars())
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units)
+	for i := 0; i < units; i++ {
+		fmt.Fprintf(bw, "%d 0\n", s.trail[i].Dimacs())
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			fmt.Fprintf(bw, "%d ", l.Dimacs())
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,277 @@
+// Package satattack implements the oracle-guided SAT attack of Subramanyan
+// et al. (HOST 2015) on combinational locked circuits.
+//
+// The attack maintains two copies of the locked circuit with shared inputs
+// X and independent keys K1, K2, plus a miter forcing their outputs to
+// differ. Each SAT call yields a distinguishing input pattern (DIP); the
+// oracle's response for that DIP is asserted on both key copies, pruning
+// every key that disagrees with the oracle. When the miter goes UNSAT, any
+// key satisfying the accumulated I/O constraints is functionally correct
+// on all inputs.
+//
+// DynUnlock (internal/core) feeds this engine a combinational model of a
+// dynamically scan-locked circuit whose key inputs are the LFSR seed bits.
+package satattack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dynunlock/internal/cnf"
+	"dynunlock/internal/encode"
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sat"
+)
+
+// Locked is a combinational locked circuit: a view whose inputs are split
+// into attacker-controlled inputs and key inputs.
+type Locked struct {
+	View *netlist.CombView
+	// KeyIdx indexes View.Inputs entries that are key inputs.
+	KeyIdx []int
+	// InIdx indexes the remaining, attacker-controlled inputs.
+	InIdx []int
+}
+
+// NewLocked splits view inputs by a key predicate.
+func NewLocked(view *netlist.CombView, isKey func(i int, sig netlist.SignalID) bool) *Locked {
+	l := &Locked{View: view}
+	for i, s := range view.Inputs {
+		if isKey(i, s) {
+			l.KeyIdx = append(l.KeyIdx, i)
+		} else {
+			l.InIdx = append(l.InIdx, i)
+		}
+	}
+	return l
+}
+
+// Validate checks index consistency.
+func (l *Locked) Validate() error {
+	if l.View == nil {
+		return errors.New("satattack: nil view")
+	}
+	seen := make(map[int]bool)
+	for _, idx := range [][]int{l.KeyIdx, l.InIdx} {
+		for _, i := range idx {
+			if i < 0 || i >= len(l.View.Inputs) {
+				return fmt.Errorf("satattack: input index %d out of range", i)
+			}
+			if seen[i] {
+				return fmt.Errorf("satattack: input index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(l.View.Inputs) {
+		return fmt.Errorf("satattack: %d of %d inputs classified", len(seen), len(l.View.Inputs))
+	}
+	if len(l.KeyIdx) == 0 {
+		return errors.New("satattack: no key inputs")
+	}
+	return nil
+}
+
+// Oracle answers I/O queries on the activated (correctly keyed) circuit.
+// The input vector is ordered like Locked.InIdx; the response is ordered
+// like View.Outputs.
+type Oracle interface {
+	Query(in []bool) []bool
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(in []bool) []bool
+
+// Query implements Oracle.
+func (f OracleFunc) Query(in []bool) []bool { return f(in) }
+
+// Options tunes the attack.
+type Options struct {
+	// MaxIterations bounds the DIP loop; 0 means unlimited.
+	MaxIterations int
+	// EnumerateLimit bounds post-convergence key-candidate enumeration:
+	// 0 extracts a single key, n > 0 enumerates up to n candidates.
+	EnumerateLimit int
+	// ConflictBudget bounds total solver conflicts (0 = unlimited).
+	ConflictBudget int64
+	// Log, when non-nil, receives per-iteration progress lines.
+	Log io.Writer
+	// DumpCNF, when non-nil, is called after every iteration with the
+	// iteration number and a writer-producing function; the paper's
+	// methodology dumps the accumulated CNF after each iteration to
+	// inspect which seed bits have been pinned. Pass a func that opens a
+	// per-iteration file and writes the solver's DIMACS dump into it.
+	DumpCNF func(iteration int, dump func(w io.Writer) error)
+}
+
+// Result reports the attack outcome.
+type Result struct {
+	// Key is one key consistent with every oracle response.
+	Key []bool
+	// Candidates lists all enumerated keys (including Key) when
+	// Options.EnumerateLimit > 0.
+	Candidates [][]bool
+	// CandidatesExact is true when enumeration finished before the limit:
+	// Candidates is then the complete equivalence class.
+	CandidatesExact bool
+	// Iterations is the number of DIPs used (SAT-attack iterations).
+	Iterations int
+	// Queries is the number of oracle queries issued.
+	Queries int
+	// Converged is true when the miter became UNSAT (proof of key
+	// correctness on all inputs), false when an iteration bound stopped
+	// the loop early.
+	Converged bool
+	// Elapsed is the wall-clock attack time.
+	Elapsed time.Duration
+	// SolverStats snapshots the SAT solver counters.
+	SolverStats sat.Stats
+}
+
+// ErrBudget is returned when the solver exhausts its conflict budget.
+var ErrBudget = errors.New("satattack: conflict budget exhausted")
+
+// ErrUnsat is returned when the accumulated constraints become
+// unsatisfiable, which indicates an oracle inconsistent with the model.
+var ErrUnsat = errors.New("satattack: constraints unsatisfiable; oracle does not match the locked model")
+
+// Run executes the SAT attack.
+func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s := sat.New()
+	s.ConflictBudget = opts.ConflictBudget
+	e := encode.New(s)
+
+	x := e.FreshVec(len(l.InIdx))
+	k1 := e.FreshVec(len(l.KeyIdx))
+	k2 := e.FreshVec(len(l.KeyIdx))
+
+	y1 := e.EncodeComb(l.View, l.assemble(e, x, k1))
+	y2 := e.EncodeComb(l.View, l.assemble(e, x, k2))
+	miter := e.Miter(y1, y2)
+
+	// Branch on key variables first: the miter search closes fastest when
+	// the candidate keys are fixed before the shared inputs.
+	for _, ks := range [][]cnf.Lit{k1, k2} {
+		for _, kl := range ks {
+			s.BumpActivity(kl.Var(), 1)
+		}
+	}
+
+	res := &Result{}
+	for {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			break
+		}
+		switch st := s.Solve(miter); st {
+		case sat.Unsat:
+			res.Converged = true
+		case sat.Unknown:
+			return nil, ErrBudget
+		case sat.Sat:
+			dip := e.ModelBits(x)
+			resp := o.Query(dip)
+			res.Queries++
+			res.Iterations++
+			if len(resp) != len(l.View.Outputs) {
+				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
+			}
+			cx := e.ConstVec(dip)
+			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
+			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "iter %d: dip=%s clauses=%d conflicts=%d\n",
+					res.Iterations, bitString(dip), s.NumClauses(), s.Stats.Conflicts)
+			}
+			if opts.DumpCNF != nil {
+				opts.DumpCNF(res.Iterations, s.WriteDimacs)
+			}
+			continue
+		}
+		break
+	}
+
+	// Key extraction: any key consistent with all recorded I/O pairs.
+	switch st := s.Solve(); st {
+	case sat.Unsat:
+		return nil, ErrUnsat
+	case sat.Unknown:
+		return nil, ErrBudget
+	}
+	res.Key = e.ModelBits(k1)
+	res.SolverStats = s.Stats
+
+	if opts.EnumerateLimit > 0 {
+		res.Candidates, res.CandidatesExact = enumerate(s, e, k1, res.Key, opts.EnumerateLimit)
+	}
+	res.SolverStats = s.Stats
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// assemble builds the full view-input literal vector from attacker inputs
+// and key literals.
+func (l *Locked) assemble(e *encode.Encoder, in, key []cnf.Lit) []cnf.Lit {
+	full := make([]cnf.Lit, len(l.View.Inputs))
+	for i, idx := range l.InIdx {
+		full[idx] = in[i]
+	}
+	for i, idx := range l.KeyIdx {
+		full[idx] = key[i]
+	}
+	return full
+}
+
+// enumerate lists satisfying assignments of the key literals via blocking
+// clauses, starting from first.
+func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool, limit int) ([][]bool, bool) {
+	candidates := [][]bool{append([]bool(nil), first...)}
+	block := func(k []bool) bool {
+		clause := make([]cnf.Lit, len(keyLits))
+		for i, l := range keyLits {
+			if k[i] {
+				clause[i] = l.Not()
+			} else {
+				clause[i] = l
+			}
+		}
+		return s.AddClause(clause...)
+	}
+	if !block(first) {
+		return candidates, true
+	}
+	for len(candidates) < limit {
+		st := s.Solve()
+		if st != sat.Sat {
+			return candidates, st == sat.Unsat
+		}
+		k := e.ModelBits(keyLits)
+		candidates = append(candidates, k)
+		if !block(k) {
+			return candidates, true
+		}
+	}
+	// Limit reached; check whether anything remains.
+	st := s.Solve()
+	return candidates, st == sat.Unsat
+}
+
+func bitString(bs []bool) string {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	if len(out) > 64 {
+		return string(out[:61]) + "..."
+	}
+	return string(out)
+}

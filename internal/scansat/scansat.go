@@ -1,0 +1,61 @@
+// Package scansat implements the ScanSAT attack (Alrahis et al., ASP-DAC
+// 2019) on statically obfuscated scan chains — the baseline that DynUnlock
+// generalizes (paper Table I, row "EFF → ScanSAT").
+//
+// With a static key the scan-in/scan-out masks are fixed XOR functions of
+// the key register, so the obfuscated chain unrolls into a combinational
+// locked circuit whose key inputs are the register bits directly. That is
+// exactly DynUnlock's model with the identity key schedule; this package is
+// the thin instantiation of the shared machinery, packaged under the
+// baseline's own name and with key-register values (not LFSR seeds) as its
+// result vocabulary.
+package scansat
+
+import (
+	"fmt"
+
+	"dynunlock/internal/core"
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/scan"
+)
+
+// Result reports a ScanSAT run.
+type Result struct {
+	// KeyCandidates are the recovered static scan-key values.
+	KeyCandidates []gf2.Vec
+	// Exact reports complete enumeration.
+	Exact bool
+	// Iterations is the SAT-attack DIP count.
+	Iterations int
+	// Converged reports miter-UNSAT convergence.
+	Converged bool
+}
+
+// Options tunes the attack.
+type Options struct {
+	// EnumerateLimit bounds candidate enumeration (0 selects 256).
+	EnumerateLimit int
+	// TestKey is the mismatching external test key (nil = all zeros).
+	TestKey []bool
+}
+
+// Attack runs ScanSAT against a statically locked chip.
+func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+	if p := chip.Design().Config.Policy; p != scan.Static {
+		return nil, fmt.Errorf("scansat: design uses %v; ScanSAT handles static scan locking only (use DynUnlock)", p)
+	}
+	res, err := core.Attack(chip, core.Options{
+		EnumerateLimit: opts.EnumerateLimit,
+		TestKey:        opts.TestKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		KeyCandidates: res.SeedCandidates,
+		Exact:         res.Exact,
+		Iterations:    res.Iterations,
+		Converged:     res.Converged,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package scansat
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynunlock/internal/bench"
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/lock"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/scan"
+)
+
+func staticChip(t *testing.T, ffs, keyBits int, seedSrc int64) *oracle.Chip {
+	t.Helper()
+	n, err := bench.Generate(bench.GenConfig{Name: "t", PIs: 5, POs: 3, FFs: ffs, Gates: 8 * ffs, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lock.Lock(n, lock.Config{KeyBits: keyBits, Policy: scan.Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seedSrc))
+	key := gf2.NewVec(keyBits)
+	for i := 0; i < keyBits; i++ {
+		if rng.Intn(2) == 1 {
+			key.Set(i, true)
+		}
+	}
+	auth := make([]bool, keyBits)
+	auth[0] = true
+	chip, err := oracle.New(d, key, auth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func TestScanSATRecoversStaticKey(t *testing.T) {
+	for trial := int64(0); trial < 3; trial++ {
+		chip := staticChip(t, 10, 6, 100+trial)
+		res, err := Attack(chip, Options{EnumerateLimit: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged || !res.Exact {
+			t.Fatalf("trial %d: converged=%v exact=%v", trial, res.Converged, res.Exact)
+		}
+		found := false
+		for _, k := range res.KeyCandidates {
+			if k.Equal(chip.SecretSeed()) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: static key not recovered", trial)
+		}
+	}
+}
+
+func TestScanSATRejectsDynamic(t *testing.T) {
+	n, err := bench.Generate(bench.GenConfig{Name: "t", PIs: 5, POs: 3, FFs: 8, Gates: 64, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lock.Lock(n, lock.Config{KeyBits: 4, Policy: scan.PerCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := oracle.New(d, gf2.Unit(4, 0), []bool{true, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attack(chip, Options{}); err == nil {
+		t.Fatal("ScanSAT must refuse dynamic designs")
+	}
+}
