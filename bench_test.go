@@ -45,6 +45,8 @@ func scaledKey(kb, scale int) int {
 
 // runAttack locks the benchmark, fabricates one chip per iteration, and
 // attacks it, reporting candidates/iterations as benchmark metrics.
+// Solver conflicts are reported too: unlike ns/op they are machine-speed
+// independent, so perf regressions in the search itself stay visible.
 func runAttack(b *testing.B, name string, keyBits int, policy Policy) {
 	b.Helper()
 	scale := scaleFactor()
@@ -52,7 +54,7 @@ func runAttack(b *testing.B, name string, keyBits int, policy Policy) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var cands, iters, successes float64
+	var cands, iters, successes, conflicts float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		chip, err := Fabricate(design, int64(i)*7919+101)
@@ -65,6 +67,7 @@ func runAttack(b *testing.B, name string, keyBits int, policy Policy) {
 		}
 		cands += float64(len(res.SeedCandidates))
 		iters += float64(res.Iterations)
+		conflicts += float64(res.SolverStats.Conflicts)
 		if core.ContainsSeed(res.SeedCandidates, chip.SecretSeed()) {
 			successes++
 		}
@@ -72,6 +75,7 @@ func runAttack(b *testing.B, name string, keyBits int, policy Policy) {
 	b.ReportMetric(cands/float64(b.N), "candidates")
 	b.ReportMetric(iters/float64(b.N), "iterations")
 	b.ReportMetric(successes/float64(b.N), "success")
+	b.ReportMetric(conflicts/float64(b.N), "conflicts")
 }
 
 // --- Table I: evolution of scan locking -------------------------------
@@ -122,6 +126,44 @@ func BenchmarkTableII_b20(b *testing.B)    { runAttack(b, "b20", 128, PerCycle) 
 func BenchmarkTableII_b21(b *testing.B)    { runAttack(b, "b21", 128, PerCycle) }
 func BenchmarkTableII_b22(b *testing.B)    { runAttack(b, "b22", 128, PerCycle) }
 func BenchmarkTableII_b17(b *testing.B)    { runAttack(b, "b17", 128, PerCycle) }
+
+// --- Concurrent sweep runner: Table II conditions in parallel ---------
+
+// benchSweep runs the first four Table II conditions as independent
+// experiments through the bench.Sweep worker pool. Workers <= 0 selects
+// ParallelDefault() (DYNUNLOCK_PARALLEL or GOMAXPROCS); 1 is the
+// sequential reference whose results are bit-identical by construction.
+// On a multi-core host the parallel variant shows the sweep speedup; on a
+// single-core host both variants measure the same work.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	scale := scaleFactor()
+	conds := bench.Table2[:4]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Sweep(workers, conds, func(j int, e bench.Entry) (*ExperimentResult, error) {
+			return RunExperiment(ExperimentConfig{
+				Benchmark: e.Name,
+				KeyBits:   scaledKey(128, scale),
+				Policy:    PerCycle,
+				Scale:     scale,
+				Trials:    1,
+				SeedBase:  int64(j)*104729 + 13,
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.AllSucceeded() {
+				b.Fatalf("%s: attack failed", r.Entry.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkSweep_TableII_Sequential(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweep_TableII_Parallel(b *testing.B)   { benchSweep(b, ParallelDefault()) }
 
 // --- Table III: key-size sweep on the three largest benchmarks --------
 

@@ -2,21 +2,30 @@
 // it locks each benchmark, fabricates chips with secret seeds, runs the
 // attack, and prints rows in the paper's format.
 //
+// Independent table conditions (benchmark × keyBits × policy) run on a
+// worker pool sized by -parallel (default: DYNUNLOCK_PARALLEL or
+// GOMAXPROCS), so regeneration scales with cores; -parallel 1 reproduces
+// the sequential reference run bit for bit. Within a trial, -portfolio N
+// races N diversified CDCL instances per SAT call.
+//
 // Paper-scale runs (-scale 1 -trials 10) take a while on the from-scratch
 // CDCL solver; -scale 8 reproduces the qualitative shape in seconds.
 //
 // Usage:
 //
 //	tables -table 2 -scale 8 -trials 3
-//	tables -table 3 -scale 8
+//	tables -table 3 -scale 8 -parallel 4 -json table3.json
 //	tables -table 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"dynunlock"
 	"dynunlock/internal/bench"
@@ -28,55 +37,167 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 2, "which table to regenerate: 1, 2, or 3")
-		scale  = flag.Int("scale", 1, "divide circuit sizes by this factor")
-		trials = flag.Int("trials", 10, "secret seeds per benchmark (paper: 10)")
-		kbits  = flag.Int("keybits", 128, "key width for Table II (paper: 128)")
-		v      = flag.Bool("v", false, "log per-trial progress to stderr")
+		table     = flag.Int("table", 2, "which table to regenerate: 1, 2, or 3")
+		scale     = flag.Int("scale", 1, "divide circuit sizes by this factor")
+		trials    = flag.Int("trials", 10, "secret seeds per benchmark (paper: 10)")
+		kbits     = flag.Int("keybits", 128, "key width for Table II (paper: 128)")
+		parallel  = flag.Int("parallel", 0, "worker pool size for table conditions (0 = DYNUNLOCK_PARALLEL or GOMAXPROCS)")
+		portfolio = flag.Int("portfolio", 1, "diversified solver instances racing each SAT call")
+		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
+		v         = flag.Bool("v", false, "log per-trial progress to stderr")
 	)
 	flag.Parse()
 	var logw io.Writer
 	if *v {
 		logw = os.Stderr
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = dynunlock.ParallelDefault()
+	}
+	if logw != nil && workers > 1 {
+		// Interleaved per-trial logs from concurrent conditions are useless.
+		fmt.Fprintln(os.Stderr, "tables: -v with -parallel > 1 interleaves condition logs")
+	}
 
+	start := time.Now()
+	var rows []condRow
+	var err error
 	switch *table {
 	case 1:
-		table1(*scale, logw)
+		rows, err = table1(*scale, *portfolio, workers, logw)
 	case 2:
-		table2(*scale, *trials, *kbits, logw)
+		rows, err = table2(*scale, *trials, *kbits, *portfolio, workers, logw)
 	case 3:
-		table3(*scale, *trials, logw)
+		rows, err = table3(*scale, *trials, *portfolio, workers, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonPath != "" {
+		rep := jsonReport{
+			Table:          *table,
+			Scale:          *scale,
+			Trials:         *trials,
+			Parallel:       workers,
+			Portfolio:      *portfolio,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			NumCPU:         runtime.NumCPU(),
+			ElapsedSeconds: time.Since(start).Seconds(),
+			Conditions:     rows,
+		}
+		if err := writeJSON(*jsonPath, &rep); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// condRow is one table condition in machine-readable form (the -json
+// output; BENCH_*.json perf trajectories are populated from these).
+type condRow struct {
+	Table         string  `json:"table"`
+	Benchmark     string  `json:"benchmark"`
+	Suite         string  `json:"suite,omitempty"`
+	Defense       string  `json:"defense,omitempty"`
+	Attack        string  `json:"attack,omitempty"`
+	KeyBits       int     `json:"keyBits"`
+	Policy        string  `json:"policy"`
+	ScanFlops     int     `json:"scanFlops,omitempty"`
+	Trials        int     `json:"trials"`
+	AvgCandidates float64 `json:"avgCandidates"`
+	AvgIterations float64 `json:"avgIterations"`
+	AvgQueries    float64 `json:"avgQueries,omitempty"`
+	AvgSeconds    float64 `json:"avgSeconds"`
+	Broken        bool    `json:"broken"`
+	Conflicts     uint64  `json:"conflicts"`
+	Decisions     uint64  `json:"decisions"`
+	Propagations  uint64  `json:"propagations"`
+	ElapsedSecs   float64 `json:"elapsedSeconds"`
+}
+
+type jsonReport struct {
+	Table          int       `json:"table"`
+	Scale          int       `json:"scale"`
+	Trials         int       `json:"trials"`
+	Parallel       int       `json:"parallel"`
+	Portfolio      int       `json:"portfolio"`
+	GOMAXPROCS     int       `json:"gomaxprocs"`
+	NumCPU         int       `json:"numCPU"`
+	ElapsedSeconds float64   `json:"elapsedSeconds"`
+	Conditions     []condRow `json:"conditions"`
+}
+
+func writeJSON(path string, rep *jsonReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func policyName(p dynunlock.Policy) string {
+	switch p {
+	case dynunlock.Static:
+		return "static"
+	case dynunlock.PerPattern:
+		return "per-pattern"
+	default:
+		return "per-cycle"
+	}
+}
+
+// rowFromExperiment converts an experiment into the machine-readable row.
+func rowFromExperiment(table string, res *dynunlock.ExperimentResult, elapsed time.Duration) condRow {
+	var queries float64
+	var dec, prop uint64
+	for _, t := range res.Trials {
+		queries += float64(t.Queries)
+		dec += t.SolverStats.Decisions
+		prop += t.SolverStats.Propagations
+	}
+	n := float64(len(res.Trials))
+	return condRow{
+		Table:         table,
+		Benchmark:     res.Entry.Name,
+		Suite:         res.Entry.Suite,
+		KeyBits:       res.Config.KeyBits,
+		Policy:        policyName(res.Config.Policy),
+		ScanFlops:     res.Entry.FFs,
+		Trials:        len(res.Trials),
+		AvgCandidates: res.AvgCandidates(),
+		AvgIterations: res.AvgIterations(),
+		AvgQueries:    queries / n,
+		AvgSeconds:    res.AvgSeconds(),
+		Broken:        res.AllSucceeded(),
+		Conflicts:     res.TotalConflicts(),
+		Decisions:     dec,
+		Propagations:  prop,
+		ElapsedSecs:   elapsed.Seconds(),
 	}
 }
 
 // table1 reproduces the evolution table: each defense family attacked by
 // the technique that broke it, demonstrated live on one mid-size circuit.
-func table1(scale int, logw io.Writer) {
-	tb := report.New("Table I: Evolution of scan locking (each defense attacked live)",
-		"Defense", "Obfuscation type", "Attack", "Broken", "Candidates", "Iterations")
-	run := func(defense, obfType, attackName string, policy dynunlock.Policy, attack func(chip *oracle.Chip) (broken bool, cands, iters int)) {
-		// Key width scales with the circuit so the mask rank can cover the
-		// key space (the paper's regime: k <= 2n).
-		d, err := dynunlock.LockBenchmark("s5378", scaleKey(64, max(scale, 8)), policy, max(scale, 8))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		chip, err := dynunlock.Fabricate(d, 1)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		broken, cands, iters := attack(chip)
-		tb.AddRow(defense, obfType, attackName, broken, cands, iters)
+func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
+	type cond struct {
+		defense, obfType, attackName string
+		policy                       dynunlock.Policy
+		attack                       func(chip *oracle.Chip) (broken bool, cands, iters int, err error)
 	}
 
-	scanSAT := func(chip *oracle.Chip) (bool, int, int) {
+	scanSAT := func(chip *oracle.Chip) (bool, int, int, error) {
 		res, err := scansat.Attack(chip, scansat.Options{EnumerateLimit: 256})
 		if err != nil {
-			fatalf("%v", err)
+			return false, 0, 0, err
 		}
 		ok := false
 		for _, k := range res.KeyCandidates {
@@ -84,79 +205,176 @@ func table1(scale int, logw io.Writer) {
 				ok = true
 			}
 		}
-		return ok && res.Converged, len(res.KeyCandidates), res.Iterations
+		return ok && res.Converged, len(res.KeyCandidates), res.Iterations, nil
 	}
-	dynUnlock := func(chip *oracle.Chip) (bool, int, int) {
-		res, err := core.Attack(chip, core.Options{EnumerateLimit: 256, Log: logw})
+	dynUnlock := func(chip *oracle.Chip) (bool, int, int, error) {
+		res, err := core.Attack(chip, core.Options{Portfolio: portfolio, EnumerateLimit: 256, Log: logw})
 		if err != nil {
-			fatalf("%v", err)
+			return false, 0, 0, err
 		}
 		return res.Converged && core.ContainsSeed(res.SeedCandidates, chip.SecretSeed()),
-			len(res.SeedCandidates), res.Iterations
+			len(res.SeedCandidates), res.Iterations, nil
 	}
 
-	run("EFF [10]", "Static", "ScanSAT [14]", dynunlock.Static, scanSAT)
-	run("DOS [12] (p=1)", "Dynamic", "DynUnlock (this work)", dynunlock.PerPattern, dynUnlock)
-	run("EFF-Dyn [13]", "Dynamic", "DynUnlock (this work)", dynunlock.PerCycle, dynUnlock)
+	conds := []cond{
+		{"EFF [10]", "Static", "ScanSAT [14]", dynunlock.Static, scanSAT},
+		{"DOS [12] (p=1)", "Dynamic", "DynUnlock (this work)", dynunlock.PerPattern, dynUnlock},
+		{"EFF-Dyn [13]", "Dynamic", "DynUnlock (this work)", dynunlock.PerCycle, dynUnlock},
+	}
+
+	type row struct {
+		c            cond
+		broken       bool
+		cands, iters int
+		keyBits      int
+		elapsed      time.Duration
+	}
+	rows, err := bench.Sweep(workers, conds, func(i int, c cond) (row, error) {
+		condStart := time.Now()
+		// Key width scales with the circuit so the mask rank can cover the
+		// key space (the paper's regime: k <= 2n).
+		d, err := dynunlock.LockBenchmark("s5378", scaleKey(64, max(scale, 8)), c.policy, max(scale, 8))
+		if err != nil {
+			return row{}, err
+		}
+		chip, err := dynunlock.Fabricate(d, 1)
+		if err != nil {
+			return row{}, err
+		}
+		broken, cands, iters, err := c.attack(chip)
+		if err != nil {
+			return row{}, err
+		}
+		return row{c: c, broken: broken, cands: cands, iters: iters,
+			keyBits: d.Config.KeyBits, elapsed: time.Since(condStart)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.New("Table I: Evolution of scan locking (each defense attacked live)",
+		"Defense", "Obfuscation type", "Attack", "Broken", "Candidates", "Iterations")
+	var out []condRow
+	for _, r := range rows {
+		tb.AddRow(r.c.defense, r.c.obfType, r.c.attackName, r.broken, r.cands, r.iters)
+		out = append(out, condRow{
+			Table:         "I",
+			Benchmark:     "s5378",
+			Defense:       r.c.defense,
+			Attack:        r.c.attackName,
+			KeyBits:       r.keyBits,
+			Policy:        policyName(r.c.policy),
+			Trials:        1,
+			AvgCandidates: float64(r.cands),
+			AvgIterations: float64(r.iters),
+			AvgSeconds:    r.elapsed.Seconds(),
+			Broken:        r.broken,
+			ElapsedSecs:   r.elapsed.Seconds(),
+		})
+	}
 	tb.Render(os.Stdout)
+	return out, nil
 }
 
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(scale, trials, keyBits int, logw io.Writer) {
+func table2(scale, trials, keyBits, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
 	}
 	title += ")"
-	tb := report.New(title,
-		"Benchmark", "# Scan flops", "# Key bits", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
-	for _, e := range bench.Table2 {
+	type outcome struct {
+		res     *dynunlock.ExperimentResult
+		elapsed time.Duration
+	}
+	outs, err := bench.Sweep(workers, bench.Table2, func(i int, e bench.Entry) (outcome, error) {
+		condStart := time.Now()
 		res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
 			Benchmark: e.Name,
 			KeyBits:   scaleKey(keyBits, scale),
 			Policy:    dynunlock.PerCycle,
 			Scale:     scale,
 			Trials:    trials,
+			Portfolio: portfolio,
 			SeedBase:  100,
 			Log:       logw,
 		})
 		if err != nil {
-			fatalf("%v", err)
+			return outcome{}, err
 		}
-		tb.AddRow(e.Name, res.Entry.FFs, scaleKey(keyBits, scale),
+		return outcome{res: res, elapsed: time.Since(condStart)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.New(title,
+		"Benchmark", "# Scan flops", "# Key bits", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	var rows []condRow
+	for _, o := range outs {
+		res := o.res
+		tb.AddRow(res.Entry.Name, res.Entry.FFs, res.Config.KeyBits,
 			res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
+		rows = append(rows, rowFromExperiment("II", res, o.elapsed))
 	}
 	tb.Render(os.Stdout)
+	return rows, nil
 }
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(scale, trials int, logw io.Writer) {
+func table3(scale, trials, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
 		title += fmt.Sprintf(" (circuits scaled 1/%d)", scale)
 	}
-	tb := report.New(title,
-		"Key bits", "Benchmark", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	type cond struct {
+		kb   int
+		name string
+	}
+	var conds []cond
 	for kb := 144; kb <= 368; kb += 16 {
 		for _, name := range benches {
-			res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
-				Benchmark: name,
-				KeyBits:   scaleKey(kb, scale),
-				Policy:    dynunlock.PerCycle,
-				Scale:     scale,
-				Trials:    trials,
-				SeedBase:  int64(kb),
-				Log:       logw,
-			})
-			if err != nil {
-				fatalf("%v", err)
-			}
-			tb.AddRow(scaleKey(kb, scale), name, res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
+			conds = append(conds, cond{kb, name})
 		}
 	}
+	type outcome struct {
+		res     *dynunlock.ExperimentResult
+		elapsed time.Duration
+	}
+	outs, err := bench.Sweep(workers, conds, func(i int, c cond) (outcome, error) {
+		condStart := time.Now()
+		res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
+			Benchmark: c.name,
+			KeyBits:   scaleKey(c.kb, scale),
+			Policy:    dynunlock.PerCycle,
+			Scale:     scale,
+			Trials:    trials,
+			Portfolio: portfolio,
+			SeedBase:  int64(c.kb),
+			Log:       logw,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{res: res, elapsed: time.Since(condStart)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tb := report.New(title,
+		"Key bits", "Benchmark", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
+	var rows []condRow
+	for _, o := range outs {
+		res := o.res
+		tb.AddRow(res.Config.KeyBits, res.Entry.Name, res.AvgCandidates(), res.AvgIterations(),
+			res.AvgSeconds(), res.AllSucceeded())
+		rows = append(rows, rowFromExperiment("III", res, o.elapsed))
+	}
 	tb.Render(os.Stdout)
+	return rows, nil
 }
 
 // scaleKey shrinks the key width along with the circuit, keeping the

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"dynunlock/internal/bench"
@@ -12,6 +15,7 @@ import (
 	"dynunlock/internal/lock"
 	"dynunlock/internal/netlist"
 	"dynunlock/internal/oracle"
+	"dynunlock/internal/sat"
 	"dynunlock/internal/scan"
 )
 
@@ -54,6 +58,9 @@ type ExperimentConfig struct {
 	Trials int
 	// Mode selects the attack formulation (default ModeLinear).
 	Mode Mode
+	// Portfolio is the number of diversified SAT solver instances racing
+	// each SAT call within a trial (<= 1 = sequential).
+	Portfolio int
 	// EnumerateLimit bounds seed-candidate enumeration (0 = 256).
 	EnumerateLimit int
 	// SeedBase derives the per-trial secrets; experiments with the same
@@ -76,6 +83,10 @@ type TrialResult struct {
 	// Success is the paper's criterion: the programmed secret seed is in
 	// the recovered candidate set.
 	Success bool
+	// SolverStats snapshots the CDCL solver counters for the trial (summed
+	// over portfolio instances), making perf trajectories comparable across
+	// machines: conflicts don't depend on clock speed.
+	SolverStats sat.Stats
 }
 
 // ExperimentResult aggregates an experiment's trials.
@@ -100,6 +111,16 @@ func (r *ExperimentResult) AvgSeconds() float64 {
 	return r.avg(func(t TrialResult) float64 { return t.Seconds })
 }
 
+// TotalConflicts sums solver conflicts across trials: a machine-independent
+// work measure for perf trajectories.
+func (r *ExperimentResult) TotalConflicts() uint64 {
+	var sum uint64
+	for _, t := range r.Trials {
+		sum += t.SolverStats.Conflicts
+	}
+	return sum
+}
+
 // AllSucceeded reports whether every trial recovered the secret seed.
 func (r *ExperimentResult) AllSucceeded() bool {
 	for _, t := range r.Trials {
@@ -119,6 +140,19 @@ func (r *ExperimentResult) avg(f func(TrialResult) float64) float64 {
 		sum += f(t)
 	}
 	return sum / float64(len(r.Trials))
+}
+
+// ParallelDefault returns the worker count for concurrent sweeps: the
+// DYNUNLOCK_PARALLEL environment variable when set to a positive integer,
+// otherwise runtime.GOMAXPROCS(0). A value of 1 forces the sequential
+// reference path everywhere.
+func ParallelDefault() int {
+	if s := os.Getenv("DYNUNLOCK_PARALLEL"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // LockBenchmark builds the synthetic stand-in for a named benchmark,
@@ -207,6 +241,7 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 		start := time.Now()
 		atk, err := core.Attack(chip, core.Options{
 			Mode:           cfg.Mode,
+			Portfolio:      cfg.Portfolio,
 			EnumerateLimit: cfg.EnumerateLimit,
 			Log:            cfg.Log,
 		})
@@ -214,15 +249,16 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			return nil, fmt.Errorf("dynunlock: %s trial %d: %w", entry.Name, trial, err)
 		}
 		res.Trials = append(res.Trials, TrialResult{
-			Candidates: len(atk.SeedCandidates),
-			Iterations: atk.Iterations,
-			Queries:    atk.Queries,
-			Seconds:    time.Since(start).Seconds(),
-			Rank:       atk.Rank,
-			Exact:      atk.Exact,
-			Converged:  atk.Converged,
-			Verified:   atk.Verified,
-			Success:    core.ContainsSeed(atk.SeedCandidates, chip.SecretSeed()),
+			Candidates:  len(atk.SeedCandidates),
+			Iterations:  atk.Iterations,
+			Queries:     atk.Queries,
+			Seconds:     time.Since(start).Seconds(),
+			Rank:        atk.Rank,
+			Exact:       atk.Exact,
+			Converged:   atk.Converged,
+			Verified:    atk.Verified,
+			Success:     core.ContainsSeed(atk.SeedCandidates, chip.SecretSeed()),
+			SolverStats: atk.SolverStats,
 		})
 		if cfg.Log != nil {
 			t := res.Trials[len(res.Trials)-1]

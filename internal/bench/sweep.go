@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs fn over every item on a fixed-size worker pool and returns the
+// results in item order. Table conditions (benchmark × keyBits × policy)
+// are independent — every condition derives its own RNG seeds — so the
+// sweep scales with cores while staying deterministic per condition: the
+// only thing concurrency changes is which condition runs when.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 degenerates to a
+// plain sequential loop over items (no goroutines), which is the reference
+// behavior parallel runs are checked against.
+//
+// On error the sweep stops handing out new items, waits for in-flight
+// items, and returns the error with the lowest item index (deterministic
+// regardless of scheduling). Results for items that never ran are zero
+// values.
+func Sweep[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+	)
+	errIdx := len(items)
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}

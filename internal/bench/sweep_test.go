@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepOrderAndResults(t *testing.T) {
+	items := make([]int, 37)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		got, err := Sweep(workers, items, func(i, item int) (int, error) {
+			return item + i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range items {
+			if got[i] != i*4 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], i*4)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	got, err := Sweep(4, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestSweepFirstErrorByIndex(t *testing.T) {
+	items := make([]int, 20)
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Sweep(workers, items, func(i, item int) (int, error) {
+			if i == 3 || i == 7 {
+				return 0, fmt.Errorf("item %d: %w", i, wantErr)
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// With one worker the error is necessarily item 3's; with more
+		// workers it must still be the lowest-index error that ran.
+		if workers == 1 && err.Error() != "item 3: boom" {
+			t.Fatalf("sequential error = %v", err)
+		}
+	}
+}
+
+func TestSweepStopsAfterError(t *testing.T) {
+	var ran atomic.Int64
+	items := make([]int, 1000)
+	_, err := Sweep(2, items, func(i, item int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := ran.Load(); n >= int64(len(items)) {
+		t.Fatalf("sweep did not stop early: ran %d items", n)
+	}
+}
+
+func TestSweepActuallyConcurrent(t *testing.T) {
+	// Two workers must be able to hold two items in flight at once.
+	gate := make(chan struct{})
+	items := []int{0, 1}
+	_, err := Sweep(2, items, func(i, item int) (int, error) {
+		if i == 0 {
+			<-gate // blocks until item 1 releases it
+		} else {
+			close(gate)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

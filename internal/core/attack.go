@@ -28,8 +28,12 @@ type Options struct {
 	EnumerateLimit int
 	// MaxIterations bounds the DIP loop (0 = unlimited).
 	MaxIterations int
-	// ConflictBudget bounds total SAT conflicts (0 = unlimited).
+	// ConflictBudget bounds total SAT conflicts (0 = unlimited; applied per
+	// portfolio instance).
 	ConflictBudget int64
+	// Portfolio is the number of diversified solver instances racing each
+	// SAT call (<= 1 = sequential; see satattack portfolio engine).
+	Portfolio int
 	// VerifyProbes is the number of random probe sessions used to check
 	// each recovered seed against the chip (attacker-side validation).
 	// 0 selects 8.
@@ -62,8 +66,13 @@ type Result struct {
 	Verified bool
 	// Elapsed is total attack wall time.
 	Elapsed time.Duration
-	// SolverStats snapshots the CDCL solver counters.
+	// SolverStats snapshots the CDCL solver counters (summed over portfolio
+	// instances when Options.Portfolio > 1).
 	SolverStats sat.Stats
+	// InstanceStats and InstanceWins report per-solver-instance counters
+	// and race wins (one entry for sequential runs).
+	InstanceStats []sat.Stats
+	InstanceWins  []int
 }
 
 // ChipOracle adapts a scan session on the real chip to the combinational
@@ -110,6 +119,7 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 	}
 	adapter := NewChipOracle(chip, opts.TestKey)
 	saOpts := satattack.Options{
+		Portfolio:      opts.Portfolio,
 		MaxIterations:  opts.MaxIterations,
 		EnumerateLimit: opts.EnumerateLimit,
 		ConflictBudget: opts.ConflictBudget,
@@ -137,6 +147,8 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		res.Converged = saRes.Converged
 		res.Exact = saRes.CandidatesExact
 		res.SolverStats = saRes.SolverStats
+		res.InstanceStats = saRes.InstanceStats
+		res.InstanceWins = saRes.InstanceWins
 		for _, c := range saRes.Candidates {
 			res.SeedCandidates = append(res.SeedCandidates, gf2.FromBools(c))
 		}
@@ -163,6 +175,8 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		res.Iterations = saRes.Iterations
 		res.Converged = saRes.Converged
 		res.SolverStats = saRes.SolverStats
+		res.InstanceStats = saRes.InstanceStats
+		res.InstanceWins = saRes.InstanceWins
 		masks := saRes.Candidates
 		if len(masks) == 0 && saRes.Key != nil {
 			masks = [][]bool{saRes.Key}

@@ -30,14 +30,19 @@ type Encoder struct {
 }
 
 type gateKey struct {
-	op   uint8
-	a, b cnf.Lit
+	op      uint8
+	a, b, c cnf.Lit // c is litNone for two-input ops
 }
+
+// litNone marks an absent operand in gateKey; cnf.Lit 0 is a valid literal
+// (variable 0, positive), so the sentinel must be out of range.
+const litNone cnf.Lit = -1
 
 const (
 	opAnd uint8 = iota
 	opOr
 	opXor
+	opMux
 )
 
 // New returns an encoder bound to s, allocating the constant-true variable.
@@ -52,7 +57,7 @@ func key(op uint8, a, b cnf.Lit) gateKey {
 	if a > b {
 		a, b = b, a
 	}
-	return gateKey{op, a, b}
+	return gateKey{op, a, b, litNone}
 }
 
 // True returns the always-true literal.
@@ -266,8 +271,11 @@ func (e *Encoder) XorN(ins ...cnf.Lit) cnf.Lit {
 	return acc
 }
 
-// Mux returns d1 if sel else d0, folding constant selectors and equal
-// branches.
+// Mux returns d1 if sel else d0, folding constant selectors, constant and
+// coincident data inputs, and structurally hashing the residual node. The
+// data-input folds matter for re-encoding under constant input vectors (the
+// per-DIP copies of the attack loop): a mux whose branches collapsed to
+// constants reduces to an AND/OR/passthrough instead of four dead clauses.
 func (e *Encoder) Mux(sel, d0, d1 cnf.Lit) cnf.Lit {
 	switch {
 	case sel == e.True():
@@ -276,12 +284,32 @@ func (e *Encoder) Mux(sel, d0, d1 cnf.Lit) cnf.Lit {
 		return d0
 	case d0 == d1:
 		return d0
+	case d0 == d1.Not():
+		return e.Xor(sel, d0)
+	case d1 == e.True() || d1 == sel:
+		return e.Or(sel, d0)
+	case d1 == e.False() || d1 == sel.Not():
+		return e.And(sel.Not(), d0)
+	case d0 == e.True() || d0 == sel.Not():
+		return e.Or(sel.Not(), d1)
+	case d0 == e.False() || d0 == sel:
+		return e.And(sel, d1)
+	}
+	// Canonical polarity: positive selector (swapping branches), so
+	// Mux(¬s,a,b) and Mux(s,b,a) share one node.
+	if sel.Sign() {
+		sel, d0, d1 = sel.Not(), d1, d0
+	}
+	k := gateKey{opMux, sel, d0, d1}
+	if z, ok := e.cache[k]; ok {
+		return z
 	}
 	z := e.Fresh()
 	e.S.AddClause(sel.Not(), d1.Not(), z)
 	e.S.AddClause(sel.Not(), d1, z.Not())
 	e.S.AddClause(sel, d0.Not(), z)
 	e.S.AddClause(sel, d0, z.Not())
+	e.cache[k] = z
 	return z
 }
 

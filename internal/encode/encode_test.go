@@ -290,3 +290,81 @@ func TestAndOrConstantFolding(t *testing.T) {
 		t.Fatal("Mux equal branches broken")
 	}
 }
+
+func TestMuxDataConstantFolding(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	sel, d := e.Fresh(), e.Fresh()
+	cases := []struct {
+		got, want cnf.Lit
+		name      string
+	}{
+		{e.Mux(sel, d, d.Not()), e.Xor(sel, d), "mux(s,d,!d) != s^d"},
+		{e.Mux(sel, d, e.True()), e.Or(sel, d), "mux(s,d,1) != s|d"},
+		{e.Mux(sel, d, e.False()), e.And(sel.Not(), d), "mux(s,d,0) != !s&d"},
+		{e.Mux(sel, e.True(), d), e.Or(sel.Not(), d), "mux(s,1,d) != !s|d"},
+		{e.Mux(sel, e.False(), d), e.And(sel, d), "mux(s,0,d) != s&d"},
+		{e.Mux(sel, d, sel), e.Or(sel, d), "mux(s,d,s) != s|d"},
+		{e.Mux(sel, sel, d), e.And(sel, d), "mux(s,s,d) != s&d"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatal(c.name)
+		}
+	}
+	// Fully constant mux folds to a constant with zero clauses.
+	n := s.NumClauses()
+	if e.Mux(sel, e.False(), e.True()) != sel || s.NumClauses() != n {
+		t.Fatal("mux(s,0,1) must fold to s without clauses")
+	}
+}
+
+func TestMuxStructuralHashing(t *testing.T) {
+	s := sat.New()
+	e := New(s)
+	sel, d0, d1 := e.Fresh(), e.Fresh(), e.Fresh()
+	z := e.Mux(sel, d0, d1)
+	n := s.NumClauses()
+	if e.Mux(sel, d0, d1) != z || s.NumClauses() != n {
+		t.Fatal("Mux not hash-consed")
+	}
+	if e.Mux(sel.Not(), d1, d0) != z || s.NumClauses() != n {
+		t.Fatal("Mux selector-polarity canonicalization broken")
+	}
+}
+
+// Re-encoding a circuit under a constant input vector — what the attack
+// loop does for every distinguishing-input copy — must emit strictly fewer
+// clauses than the free-input encoding: constants propagate through the
+// gate folds instead of producing dead Tseitin nodes.
+func TestConstantInputEncodingCheaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		v := randomCircuit(rng, 6, 40)
+		s := sat.New()
+		e := New(s)
+
+		before := s.NumClauses()
+		e.EncodeComb(v, e.FreshVec(len(v.Inputs)))
+		freeClauses := s.NumClauses() - before
+
+		consts := make([]cnf.Lit, len(v.Inputs))
+		for i := range consts {
+			consts[i] = e.Const(rng.Intn(2) == 1)
+		}
+		before = s.NumClauses()
+		outs := e.EncodeComb(v, consts)
+		constClauses := s.NumClauses() - before
+
+		if constClauses >= freeClauses {
+			t.Fatalf("trial %d: constant-input encoding emitted %d clauses, free encoding %d",
+				trial, constClauses, freeClauses)
+		}
+		// Under all-constant inputs every output must itself be constant.
+		for i, o := range outs {
+			if o != e.True() && o != e.False() {
+				t.Fatalf("trial %d: output %d not folded to a constant", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sat
+
+// RestartPolicy selects the solver's restart strategy. Different policies
+// explore the search space in different orders, which is the point of a
+// portfolio: on the same formula one instance's strategy often terminates
+// far earlier than another's.
+type RestartPolicy uint8
+
+const (
+	// RestartHybrid is the default: Luby-sequence conflict budgets plus the
+	// Glucose condition (restart early when recent learnt-clause LBDs are
+	// much worse than the long-run average, suppressed near a model).
+	RestartHybrid RestartPolicy = iota
+	// RestartLuby uses pure Luby-sequence budgets with no LBD condition.
+	RestartLuby
+	// RestartGeometric grows the conflict budget geometrically from a small
+	// base, restarting rarely in long runs.
+	RestartGeometric
+)
+
+// PhaseInit selects how decision polarities are initialized. Phase saving
+// still takes over after the first assignment; the initial phase only
+// biases the first descent.
+type PhaseInit uint8
+
+const (
+	// PhaseFalse branches false first (MiniSat default; current behavior).
+	PhaseFalse PhaseInit = iota
+	// PhaseTrue branches true first.
+	PhaseTrue
+	// PhaseRandom draws each variable's initial phase from the config RNG.
+	PhaseRandom
+)
+
+// Config diversifies a solver instance. The zero value reproduces New()
+// exactly, bit for bit: portfolio instance 0 always runs the zero config so
+// a portfolio of one is the sequential solver.
+type Config struct {
+	// RandomSeed seeds the instance RNG. Non-zero also enables occasional
+	// random decisions (about 1 in 128), which decorrelates otherwise
+	// identical instances. Zero disables all randomness.
+	RandomSeed int64
+	// VarDecay is the VSIDS activity decay factor; 0 selects 0.95.
+	VarDecay float64
+	// RestartPolicy selects the restart strategy.
+	RestartPolicy RestartPolicy
+	// PhaseInit selects initial decision polarities.
+	PhaseInit PhaseInit
+}
+
+// NewWithConfig returns an empty solver diversified by cfg.
+func NewWithConfig(cfg Config) *Solver {
+	s := New()
+	s.cfg = cfg
+	if cfg.VarDecay > 0 {
+		s.varDecay = cfg.VarDecay
+	}
+	if cfg.RandomSeed != 0 {
+		s.rngState = uint64(cfg.RandomSeed)
+		s.rnd() // discard the first output, which correlates with the seed
+	}
+	return s
+}
+
+// Diversify returns the portfolio configuration for instance i. Instance 0
+// is always the zero config (the sequential solver); higher indices cycle
+// through decay, restart, and phase variations with distinct RNG seeds.
+func Diversify(i int) Config {
+	if i <= 0 {
+		return Config{}
+	}
+	decays := [...]float64{0.85, 0.99, 0.75, 0.92, 0.80, 0.97, 0.65}
+	policies := [...]RestartPolicy{RestartLuby, RestartGeometric, RestartHybrid}
+	phases := [...]PhaseInit{PhaseTrue, PhaseRandom, PhaseFalse}
+	return Config{
+		RandomSeed:    int64(i)*0x9e3779b97f4a7c + int64(i) + 1,
+		VarDecay:      decays[(i-1)%len(decays)],
+		RestartPolicy: policies[(i-1)%len(policies)],
+		PhaseInit:     phases[(i-1)%len(phases)],
+	}
+}
+
+// rnd advances the instance RNG (splitmix64; deterministic per seed, no
+// shared state between instances).
+func (s *Solver) rnd() uint64 {
+	s.rngState += 0x9e3779b97f4a7c15
+	z := s.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Interrupt asks the solver to stop as soon as possible; the in-flight
+// Solve returns Unknown. Safe to call from any goroutine while Solve runs
+// on another — this is how a portfolio cancels the losers of a race.
+func (s *Solver) Interrupt() { s.interrupt.Store(true) }
+
+// Interrupted reports whether an interrupt is pending.
+func (s *Solver) Interrupted() bool { return s.interrupt.Load() }
+
+// ClearInterrupt re-arms the solver after an interrupt so the next Solve
+// call runs normally.
+func (s *Solver) ClearInterrupt() { s.interrupt.Store(false) }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"dynunlock/internal/cnf"
 )
@@ -114,6 +115,10 @@ type Solver struct {
 	// Solve call may spend before returning Unknown.
 	ConflictBudget int64
 
+	cfg       Config
+	rngState  uint64
+	interrupt atomic.Bool
+
 	Stats Stats
 }
 
@@ -135,7 +140,14 @@ func New() *Solver {
 func (s *Solver) NewVar() int {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, lUndef)
-	s.polarity = append(s.polarity, true)
+	phase := true // branch false first (MiniSat convention)
+	switch s.cfg.PhaseInit {
+	case PhaseTrue:
+		phase = false
+	case PhaseRandom:
+		phase = s.rnd()&1 == 1
+	}
+	s.polarity = append(s.polarity, phase)
 	s.activity = append(s.activity, 0)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
@@ -549,6 +561,10 @@ func luby(y float64, i int) float64 {
 func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
 	conflictC := int64(0)
 	for {
+		if s.interrupt.Load() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Stats.Conflicts++
@@ -583,7 +599,8 @@ func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
 
 		// No conflict.
 		restart := nofConflicts >= 0 && conflictC >= nofConflicts
-		if !restart && conflictC >= 64 && s.Stats.Conflicts > 4096 &&
+		if !restart && s.cfg.RestartPolicy == RestartHybrid &&
+			conflictC >= 64 && s.Stats.Conflicts > 4096 &&
 			s.lbdFast > 1.25*s.lbdSlow &&
 			float64(len(s.trail)) < 1.4*s.trailAvg {
 			restart = true
@@ -619,7 +636,17 @@ func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
 			}
 		}
 		if next == -1 {
-			v := s.pickBranchVar()
+			v := -1
+			// Occasional random decisions decorrelate portfolio instances
+			// that would otherwise follow identical VSIDS trajectories.
+			if s.cfg.RandomSeed != 0 && s.rnd()&127 == 0 && len(s.assigns) > 0 {
+				if r := int(s.rnd() % uint64(len(s.assigns))); s.assigns[r] == lUndef {
+					v = r
+				}
+			}
+			if v == -1 {
+				v = s.pickBranchVar()
+			}
 			if v == -1 {
 				// All variables assigned: model found.
 				s.model = make([]bool, len(s.assigns))
@@ -655,10 +682,22 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	}
 	status := Unknown
 	for restarts := 0; status == Unknown; restarts++ {
+		if s.interrupt.Load() {
+			break
+		}
 		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
 			break
 		}
-		base := luby(2, restarts) * 100
+		var base float64
+		switch s.cfg.RestartPolicy {
+		case RestartGeometric:
+			base = 100
+			for i := 0; i < restarts; i++ {
+				base *= 1.5
+			}
+		default: // RestartHybrid, RestartLuby
+			base = luby(2, restarts) * 100
+		}
 		status = s.search(int64(base), assumptions)
 		s.maxLearnts *= s.learntGrowth
 	}

@@ -1,0 +1,255 @@
+// Portfolio SAT attack: every SAT call of the DIP loop and of candidate
+// enumeration is raced across N diversified solver/encoder instances. The
+// first instance to return a definitive answer wins the race; the losers
+// are interrupted (sat.Interrupt) and the winning distinguishing input and
+// oracle response — or blocking clause — are replayed into every instance,
+// so all clause databases stay logically equivalent and any instance can
+// win the next race.
+//
+// Diversification (sat.Diversify) varies the VSIDS decay, restart policy,
+// initial phases, and random-decision seed per instance; instance 0 always
+// runs the zero config, i.e. the sequential solver. SAT-call latency, not
+// iteration count, dominates dynamic-scan attacks (ScanSAT, GF-Flush), so
+// racing the solve is where the wall-clock parallelism is.
+//
+// Determinism: the *set* of enumerated keys is the full equivalence class
+// of the oracle constraints, which is independent of which instance wins
+// which race; only the DIP order, iteration count, and per-instance stats
+// vary between runs. Tests assert candidate-set equality across portfolio
+// sizes 1, 2, and 4.
+package satattack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dynunlock/internal/cnf"
+	"dynunlock/internal/encode"
+	"dynunlock/internal/sat"
+)
+
+// pfInstance is one diversified solver with its own encoding of the locked
+// circuit. Encoding is deterministic, so variable numbering is identical
+// across instances and models transfer between them as plain bit vectors.
+type pfInstance struct {
+	s     *sat.Solver
+	e     *encode.Encoder
+	x     []cnf.Lit
+	k1    []cnf.Lit
+	k2    []cnf.Lit
+	miter cnf.Lit
+}
+
+type portfolio struct {
+	l     *Locked
+	insts []*pfInstance
+	wins  []int
+}
+
+func newPortfolio(l *Locked, n int, budget int64) *portfolio {
+	p := &portfolio{l: l, wins: make([]int, n)}
+	for i := 0; i < n; i++ {
+		s := sat.NewWithConfig(sat.Diversify(i))
+		s.ConflictBudget = budget
+		e := encode.New(s)
+		in := &pfInstance{
+			s:  s,
+			e:  e,
+			x:  e.FreshVec(len(l.InIdx)),
+			k1: e.FreshVec(len(l.KeyIdx)),
+			k2: e.FreshVec(len(l.KeyIdx)),
+		}
+		y1 := e.EncodeComb(l.View, l.assemble(e, in.x, in.k1))
+		y2 := e.EncodeComb(l.View, l.assemble(e, in.x, in.k2))
+		in.miter = e.Miter(y1, y2)
+		for _, ks := range [][]cnf.Lit{in.k1, in.k2} {
+			for _, kl := range ks {
+				s.BumpActivity(kl.Var(), 1)
+			}
+		}
+		p.insts = append(p.insts, in)
+	}
+	return p
+}
+
+// race runs one SAT call on every instance concurrently and returns the
+// index and status of the first definitive (Sat/Unsat) finisher, after
+// interrupting and draining the rest. If every instance returns Unknown
+// (conflict budget exhausted) the winner index is -1.
+func (p *portfolio) race(withMiter bool) (int, sat.Status) {
+	type outcome struct {
+		idx int
+		st  sat.Status
+	}
+	ch := make(chan outcome, len(p.insts))
+	for i, in := range p.insts {
+		in.s.ClearInterrupt()
+		go func(i int, in *pfInstance) {
+			var st sat.Status
+			if withMiter {
+				st = in.s.Solve(in.miter)
+			} else {
+				st = in.s.Solve()
+			}
+			ch <- outcome{i, st}
+		}(i, in)
+	}
+	winner, st := -1, sat.Unknown
+	for range p.insts {
+		o := <-ch
+		if winner == -1 && o.st != sat.Unknown {
+			winner, st = o.idx, o.st
+			for j, other := range p.insts {
+				if j != o.idx {
+					other.s.Interrupt()
+				}
+			}
+		}
+	}
+	for _, in := range p.insts {
+		in.s.ClearInterrupt()
+	}
+	if winner >= 0 {
+		p.wins[winner]++
+	}
+	return winner, st
+}
+
+// replayDIP asserts the oracle's response for a distinguishing input on
+// both key copies of every instance — the same constraint the sequential
+// engine adds, issued N times.
+func (p *portfolio) replayDIP(dip, resp []bool) {
+	for _, in := range p.insts {
+		cx := in.e.ConstVec(dip)
+		in.e.AssertEqualConst(in.e.EncodeComb(p.l.View, p.l.assemble(in.e, cx, in.k1)), resp)
+		in.e.AssertEqualConst(in.e.EncodeComb(p.l.View, p.l.assemble(in.e, cx, in.k2)), resp)
+	}
+}
+
+// block adds a blocking clause for key k to every instance. It reports
+// false when some instance proves the remaining space empty at top level.
+func (p *portfolio) block(k []bool) bool {
+	ok := true
+	for _, in := range p.insts {
+		clause := make([]cnf.Lit, len(in.k1))
+		for i, l := range in.k1 {
+			if k[i] {
+				clause[i] = l.Not()
+			} else {
+				clause[i] = l
+			}
+		}
+		if !in.s.AddClause(clause...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// runPortfolio is the portfolio counterpart of Run.
+func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
+	start := time.Now()
+	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget)
+	res := &Result{}
+
+	for {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			break
+		}
+		winner, st := p.race(true)
+		switch st {
+		case sat.Unsat:
+			res.Converged = true
+		case sat.Unknown:
+			return nil, ErrBudget
+		case sat.Sat:
+			w := p.insts[winner]
+			dip := w.e.ModelBits(w.x)
+			resp := o.Query(dip)
+			res.Queries++
+			res.Iterations++
+			if len(resp) != len(l.View.Outputs) {
+				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
+			}
+			p.replayDIP(dip, resp)
+			if opts.Log != nil {
+				fmt.Fprintf(opts.Log, "iter %d: dip=%s inst=%d clauses=%d\n",
+					res.Iterations, bitString(dip), winner, w.s.NumClauses())
+			}
+			if opts.DumpCNF != nil {
+				opts.DumpCNF(res.Iterations, w.s.WriteDimacs)
+			}
+			continue
+		}
+		break
+	}
+
+	// Key extraction.
+	winner, st := p.race(false)
+	switch st {
+	case sat.Unsat:
+		return nil, ErrUnsat
+	case sat.Unknown:
+		return nil, ErrBudget
+	}
+	w := p.insts[winner]
+	res.Key = w.e.ModelBits(w.k1)
+
+	if opts.EnumerateLimit > 0 {
+		res.Candidates = [][]bool{append([]bool(nil), res.Key...)}
+		res.CandidatesExact = false
+		if p.block(res.Key) {
+			for len(res.Candidates) < opts.EnumerateLimit {
+				winner, st := p.race(false)
+				if st != sat.Sat {
+					res.CandidatesExact = st == sat.Unsat
+					break
+				}
+				w := p.insts[winner]
+				k := w.e.ModelBits(w.k1)
+				res.Candidates = append(res.Candidates, k)
+				if !p.block(k) {
+					res.CandidatesExact = true
+					break
+				}
+			}
+			if len(res.Candidates) == opts.EnumerateLimit && !res.CandidatesExact {
+				// Limit reached; check whether anything remains.
+				_, st := p.race(false)
+				res.CandidatesExact = st == sat.Unsat
+			}
+		} else {
+			res.CandidatesExact = true
+		}
+		// Race winners enumerate keys in solver-dependent order; report the
+		// class in a canonical order so portfolio size never changes output.
+		sortKeys(res.Candidates)
+	}
+
+	for _, in := range p.insts {
+		res.InstanceStats = append(res.InstanceStats, in.s.Stats)
+		res.SolverStats.Decisions += in.s.Stats.Decisions
+		res.SolverStats.Propagations += in.s.Stats.Propagations
+		res.SolverStats.Conflicts += in.s.Stats.Conflicts
+		res.SolverStats.Restarts += in.s.Stats.Restarts
+		res.SolverStats.Learnt += in.s.Stats.Learnt
+		res.SolverStats.Removed += in.s.Stats.Removed
+	}
+	res.InstanceWins = append([]int(nil), p.wins...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// sortKeys orders bit vectors lexicographically (false < true).
+func sortKeys(keys [][]bool) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return b[k]
+			}
+		}
+		return false
+	})
+}

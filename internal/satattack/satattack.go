@@ -89,6 +89,11 @@ func (f OracleFunc) Query(in []bool) []bool { return f(in) }
 
 // Options tunes the attack.
 type Options struct {
+	// Portfolio is the number of diversified solver/encoder instances that
+	// race each SAT call (see Portfolio in portfolio.go). Values <= 1 run
+	// the sequential engine, whose behavior is bit-identical to the
+	// pre-portfolio implementation.
+	Portfolio int
 	// MaxIterations bounds the DIP loop; 0 means unlimited.
 	MaxIterations int
 	// EnumerateLimit bounds post-convergence key-candidate enumeration:
@@ -126,8 +131,15 @@ type Result struct {
 	Converged bool
 	// Elapsed is the wall-clock attack time.
 	Elapsed time.Duration
-	// SolverStats snapshots the SAT solver counters.
+	// SolverStats snapshots the SAT solver counters. Under a portfolio it
+	// is the sum over all instances (total work, not critical-path work).
 	SolverStats sat.Stats
+	// InstanceStats holds per-instance solver counters: one entry for the
+	// sequential engine, Options.Portfolio entries for a portfolio run.
+	InstanceStats []sat.Stats
+	// InstanceWins counts, per instance, the races that instance finished
+	// first (every SAT call is one race; sequential runs win them all).
+	InstanceWins []int
 }
 
 // ErrBudget is returned when the solver exhausts its conflict budget.
@@ -137,10 +149,15 @@ var ErrBudget = errors.New("satattack: conflict budget exhausted")
 // unsatisfiable, which indicates an oracle inconsistent with the model.
 var ErrUnsat = errors.New("satattack: constraints unsatisfiable; oracle does not match the locked model")
 
-// Run executes the SAT attack.
+// Run executes the SAT attack. With Options.Portfolio > 1 the DIP loop and
+// enumeration race diversified solver instances (see portfolio.go);
+// otherwise the sequential engine below runs.
 func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Portfolio > 1 {
+		return runPortfolio(l, o, opts)
 	}
 	start := time.Now()
 	s := sat.New()
@@ -164,10 +181,12 @@ func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 	}
 
 	res := &Result{}
+	solves := 0
 	for {
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
 			break
 		}
+		solves++
 		switch st := s.Solve(miter); st {
 		case sat.Unsat:
 			res.Converged = true
@@ -197,6 +216,7 @@ func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 	}
 
 	// Key extraction: any key consistent with all recorded I/O pairs.
+	solves++
 	switch st := s.Solve(); st {
 	case sat.Unsat:
 		return nil, ErrUnsat
@@ -207,9 +227,13 @@ func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 	res.SolverStats = s.Stats
 
 	if opts.EnumerateLimit > 0 {
-		res.Candidates, res.CandidatesExact = enumerate(s, e, k1, res.Key, opts.EnumerateLimit)
+		var enumSolves int
+		res.Candidates, res.CandidatesExact, enumSolves = enumerate(s, e, k1, res.Key, opts.EnumerateLimit)
+		solves += enumSolves
 	}
 	res.SolverStats = s.Stats
+	res.InstanceStats = []sat.Stats{s.Stats}
+	res.InstanceWins = []int{solves}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -228,9 +252,11 @@ func (l *Locked) assemble(e *encode.Encoder, in, key []cnf.Lit) []cnf.Lit {
 }
 
 // enumerate lists satisfying assignments of the key literals via blocking
-// clauses, starting from first.
-func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool, limit int) ([][]bool, bool) {
+// clauses, starting from first. It also returns the number of Solve calls
+// it issued (for win accounting).
+func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool, limit int) ([][]bool, bool, int) {
 	candidates := [][]bool{append([]bool(nil), first...)}
+	solves := 0
 	block := func(k []bool) bool {
 		clause := make([]cnf.Lit, len(keyLits))
 		for i, l := range keyLits {
@@ -243,22 +269,24 @@ func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool
 		return s.AddClause(clause...)
 	}
 	if !block(first) {
-		return candidates, true
+		return candidates, true, solves
 	}
 	for len(candidates) < limit {
+		solves++
 		st := s.Solve()
 		if st != sat.Sat {
-			return candidates, st == sat.Unsat
+			return candidates, st == sat.Unsat, solves
 		}
 		k := e.ModelBits(keyLits)
 		candidates = append(candidates, k)
 		if !block(k) {
-			return candidates, true
+			return candidates, true, solves
 		}
 	}
 	// Limit reached; check whether anything remains.
+	solves++
 	st := s.Solve()
-	return candidates, st == sat.Unsat
+	return candidates, st == sat.Unsat, solves
 }
 
 func bitString(bs []bool) string {
