@@ -6,9 +6,16 @@
 //
 //	dynunlock -bench s5378 -keybits 128 -trials 10
 //	dynunlock -bench s35932 -keybits 240 -scale 8 -policy percycle -v
+//	dynunlock -bench s5378 -keybits 64 -timeout 1s -trace run.jsonl
+//
+// -timeout bounds the whole experiment; when it fires, the run stops at the
+// next solver check point and the partial result is reported (exit 0) with
+// its stop reason. -trace streams span/progress/result events as JSON lines
+// (see internal/trace.JSONLSink for the schema).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +25,7 @@ import (
 	"dynunlock"
 	"dynunlock/internal/bench"
 	"dynunlock/internal/report"
+	"dynunlock/internal/trace"
 )
 
 func main() {
@@ -31,6 +39,9 @@ func main() {
 		mode      = flag.String("mode", "linear", "attack formulation: linear | direct")
 		limit     = flag.Int("limit", 256, "seed candidate enumeration limit")
 		seedBase  = flag.Int64("seed", 1, "base RNG seed for the chip secrets")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = unlimited)")
+		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		verbose   = flag.Bool("v", false, "log attack progress")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 	)
@@ -52,6 +63,7 @@ func main() {
 		Scale:          *scale,
 		Trials:         *trials,
 		EnumerateLimit: *limit,
+		MaxIterations:  *maxIters,
 		SeedBase:       *seedBase,
 	}
 	switch strings.ToLower(*policyStr) {
@@ -78,7 +90,25 @@ func main() {
 		cfg.Log = io.Discard
 	}
 
-	res, err := dynunlock.RunExperiment(cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	collector := trace.NewCollector()
+	sinks := []trace.Sink{collector}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		sinks = append(sinks, trace.NewJSONLSink(f))
+	}
+	ctx = trace.With(ctx, trace.Multi(sinks...))
+
+	res, err := dynunlock.RunExperimentCtx(ctx, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -89,6 +119,18 @@ func main() {
 	tb.AddRow(res.Entry.Name, res.Entry.FFs, cfg.KeyBits,
 		res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
 	tb.Render(os.Stdout)
+	if spans := collector.Spans(); len(spans) > 0 {
+		fmt.Println()
+		report.StageTable("Per-stage timing (summed over trials)", spans).Render(os.Stdout)
+	}
+	if res.Stopped {
+		// A bounded run is a successful partial run, not a failure: report
+		// the reason and exit 0 so scripted short runs (CI) can assert on
+		// the partial output.
+		fmt.Printf("\nstopped early: %s (%d/%d trial(s) ran)\n",
+			res.StopReason, len(res.Trials), cfg.Trials)
+		return
+	}
 	if !res.AllSucceeded() {
 		os.Exit(1)
 	}

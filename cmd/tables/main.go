@@ -19,7 +19,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +35,7 @@ import (
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/report"
 	"dynunlock/internal/scansat"
+	"dynunlock/internal/trace"
 )
 
 func main() {
@@ -43,6 +46,9 @@ func main() {
 		kbits     = flag.Int("keybits", 128, "key width for Table II (paper: 128)")
 		parallel  = flag.Int("parallel", 0, "worker pool size for table conditions (0 = DYNUNLOCK_PARALLEL or GOMAXPROCS)")
 		portfolio = flag.Int("portfolio", 1, "diversified solver instances racing each SAT call")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget shared by the whole table sweep (0 = unlimited); completed conditions are still rendered")
+		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
+		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		v         = flag.Bool("v", false, "log per-trial progress to stderr")
 	)
@@ -60,22 +66,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables: -v with -parallel > 1 interleaves condition logs")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		ctx = trace.With(ctx, trace.NewJSONLSink(f))
+	}
+
 	start := time.Now()
 	var rows []condRow
 	var err error
 	switch *table {
 	case 1:
-		rows, err = table1(*scale, *portfolio, workers, logw)
+		rows, err = table1(ctx, *scale, *portfolio, workers, logw)
 	case 2:
-		rows, err = table2(*scale, *trials, *kbits, *portfolio, workers, logw)
+		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, logw)
 	case 3:
-		rows, err = table3(*scale, *trials, *portfolio, workers, logw)
+		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
 	}
-	if err != nil {
+	stopped := err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled))
+	if err != nil && !stopped {
 		fatalf("%v", err)
+	}
+	if stopped {
+		fmt.Printf("\nstopped early (%v): %d condition(s) completed before the bound\n", err, len(rows))
 	}
 	if *jsonPath != "" {
 		rep := jsonReport{
@@ -112,6 +137,8 @@ type condRow struct {
 	AvgQueries    float64 `json:"avgQueries,omitempty"`
 	AvgSeconds    float64 `json:"avgSeconds"`
 	Broken        bool    `json:"broken"`
+	Stopped       bool    `json:"stopped,omitempty"`
+	StopReason    string  `json:"stopReason,omitempty"`
 	Conflicts     uint64  `json:"conflicts"`
 	Decisions     uint64  `json:"decisions"`
 	Propagations  uint64  `json:"propagations"`
@@ -178,6 +205,8 @@ func rowFromExperiment(table string, res *dynunlock.ExperimentResult, elapsed ti
 		AvgQueries:    queries / n,
 		AvgSeconds:    res.AvgSeconds(),
 		Broken:        res.AllSucceeded(),
+		Stopped:       res.Stopped,
+		StopReason:    string(res.StopReason),
 		Conflicts:     res.TotalConflicts(),
 		Decisions:     dec,
 		Propagations:  prop,
@@ -187,15 +216,15 @@ func rowFromExperiment(table string, res *dynunlock.ExperimentResult, elapsed ti
 
 // table1 reproduces the evolution table: each defense family attacked by
 // the technique that broke it, demonstrated live on one mid-size circuit.
-func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
+func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 	type cond struct {
 		defense, obfType, attackName string
 		policy                       dynunlock.Policy
-		attack                       func(chip *oracle.Chip) (broken bool, cands, iters int, err error)
+		attack                       func(ctx context.Context, chip *oracle.Chip) (broken bool, cands, iters int, err error)
 	}
 
-	scanSAT := func(chip *oracle.Chip) (bool, int, int, error) {
-		res, err := scansat.Attack(chip, scansat.Options{EnumerateLimit: 256})
+	scanSAT := func(ctx context.Context, chip *oracle.Chip) (bool, int, int, error) {
+		res, err := scansat.AttackCtx(ctx, chip, scansat.Options{EnumerateLimit: 256})
 		if err != nil {
 			return false, 0, 0, err
 		}
@@ -207,8 +236,8 @@ func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 		}
 		return ok && res.Converged, len(res.KeyCandidates), res.Iterations, nil
 	}
-	dynUnlock := func(chip *oracle.Chip) (bool, int, int, error) {
-		res, err := core.Attack(chip, core.Options{Portfolio: portfolio, EnumerateLimit: 256, Log: logw})
+	dynUnlock := func(ctx context.Context, chip *oracle.Chip) (bool, int, int, error) {
+		res, err := core.AttackCtx(ctx, chip, core.Options{Portfolio: portfolio, EnumerateLimit: 256, Log: logw})
 		if err != nil {
 			return false, 0, 0, err
 		}
@@ -224,12 +253,13 @@ func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 
 	type row struct {
 		c            cond
+		done         bool
 		broken       bool
 		cands, iters int
 		keyBits      int
 		elapsed      time.Duration
 	}
-	rows, err := bench.Sweep(workers, conds, func(i int, c cond) (row, error) {
+	rows, err := bench.SweepCtx(ctx, workers, conds, func(ctx context.Context, i int, c cond) (row, error) {
 		condStart := time.Now()
 		// Key width scales with the circuit so the mask rank can cover the
 		// key space (the paper's regime: k <= 2n).
@@ -241,21 +271,21 @@ func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 		if err != nil {
 			return row{}, err
 		}
-		broken, cands, iters, err := c.attack(chip)
+		broken, cands, iters, err := c.attack(ctx, chip)
 		if err != nil {
 			return row{}, err
 		}
-		return row{c: c, broken: broken, cands: cands, iters: iters,
+		return row{c: c, done: true, broken: broken, cands: cands, iters: iters,
 			keyBits: d.Config.KeyBits, elapsed: time.Since(condStart)}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	tb := report.New("Table I: Evolution of scan locking (each defense attacked live)",
 		"Defense", "Obfuscation type", "Attack", "Broken", "Candidates", "Iterations")
 	var out []condRow
 	for _, r := range rows {
+		if !r.done { // never ran: the sweep's deadline fired first
+			continue
+		}
 		tb.AddRow(r.c.defense, r.c.obfType, r.c.attackName, r.broken, r.cands, r.iters)
 		out = append(out, condRow{
 			Table:         "I",
@@ -273,11 +303,11 @@ func table1(scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
 		})
 	}
 	tb.Render(os.Stdout)
-	return out, nil
+	return out, err
 }
 
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(scale, trials, keyBits, portfolio, workers int, logw io.Writer) ([]condRow, error) {
+func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
@@ -287,43 +317,44 @@ func table2(scale, trials, keyBits, portfolio, workers int, logw io.Writer) ([]c
 		res     *dynunlock.ExperimentResult
 		elapsed time.Duration
 	}
-	outs, err := bench.Sweep(workers, bench.Table2, func(i int, e bench.Entry) (outcome, error) {
+	outs, err := bench.SweepCtx(ctx, workers, bench.Table2, func(ctx context.Context, i int, e bench.Entry) (outcome, error) {
 		condStart := time.Now()
-		res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
-			Benchmark: e.Name,
-			KeyBits:   scaleKey(keyBits, scale),
-			Policy:    dynunlock.PerCycle,
-			Scale:     scale,
-			Trials:    trials,
-			Portfolio: portfolio,
-			SeedBase:  100,
-			Log:       logw,
+		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
+			Benchmark:     e.Name,
+			KeyBits:       scaleKey(keyBits, scale),
+			Policy:        dynunlock.PerCycle,
+			Scale:         scale,
+			Trials:        trials,
+			Portfolio:     portfolio,
+			MaxIterations: maxIters,
+			SeedBase:      100,
+			Log:           logw,
 		})
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{res: res, elapsed: time.Since(condStart)}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	tb := report.New(title,
 		"Benchmark", "# Scan flops", "# Key bits", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
 	var rows []condRow
 	for _, o := range outs {
 		res := o.res
+		if res == nil { // never ran: the sweep's deadline fired first
+			continue
+		}
 		tb.AddRow(res.Entry.Name, res.Entry.FFs, res.Config.KeyBits,
 			res.AvgCandidates(), res.AvgIterations(), res.AvgSeconds(), res.AllSucceeded())
 		rows = append(rows, rowFromExperiment("II", res, o.elapsed))
 	}
 	tb.Render(os.Stdout)
-	return rows, nil
+	return rows, err
 }
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(scale, trials, portfolio, workers int, logw io.Writer) ([]condRow, error) {
+func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
@@ -343,38 +374,39 @@ func table3(scale, trials, portfolio, workers int, logw io.Writer) ([]condRow, e
 		res     *dynunlock.ExperimentResult
 		elapsed time.Duration
 	}
-	outs, err := bench.Sweep(workers, conds, func(i int, c cond) (outcome, error) {
+	outs, err := bench.SweepCtx(ctx, workers, conds, func(ctx context.Context, i int, c cond) (outcome, error) {
 		condStart := time.Now()
-		res, err := dynunlock.RunExperiment(dynunlock.ExperimentConfig{
-			Benchmark: c.name,
-			KeyBits:   scaleKey(c.kb, scale),
-			Policy:    dynunlock.PerCycle,
-			Scale:     scale,
-			Trials:    trials,
-			Portfolio: portfolio,
-			SeedBase:  int64(c.kb),
-			Log:       logw,
+		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
+			Benchmark:     c.name,
+			KeyBits:       scaleKey(c.kb, scale),
+			Policy:        dynunlock.PerCycle,
+			Scale:         scale,
+			Trials:        trials,
+			Portfolio:     portfolio,
+			MaxIterations: maxIters,
+			SeedBase:      int64(c.kb),
+			Log:           logw,
 		})
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{res: res, elapsed: time.Since(condStart)}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	tb := report.New(title,
 		"Key bits", "Benchmark", "# Seed candidates", "# Iterations", "Execution time (secs)", "Broken")
 	var rows []condRow
 	for _, o := range outs {
 		res := o.res
+		if res == nil { // never ran: the sweep's deadline fired first
+			continue
+		}
 		tb.AddRow(res.Config.KeyBits, res.Entry.Name, res.AvgCandidates(), res.AvgIterations(),
 			res.AvgSeconds(), res.AllSucceeded())
 		rows = append(rows, rowFromExperiment("III", res, o.elapsed))
 	}
 	tb.Render(os.Stdout)
-	return rows, nil
+	return rows, err
 }
 
 // scaleKey shrinks the key width along with the circuit, keeping the

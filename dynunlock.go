@@ -1,6 +1,7 @@
 package dynunlock
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/sat"
 	"dynunlock/internal/scan"
+	"dynunlock/internal/trace"
 )
 
 // Policy re-exports the key-update policies for facade users.
@@ -63,6 +65,9 @@ type ExperimentConfig struct {
 	Portfolio int
 	// EnumerateLimit bounds seed-candidate enumeration (0 = 256).
 	EnumerateLimit int
+	// MaxIterations bounds each trial's DIP loop (0 = unlimited); extraction
+	// and enumeration still run on the accumulated constraints.
+	MaxIterations int
 	// SeedBase derives the per-trial secrets; experiments with the same
 	// base are reproducible.
 	SeedBase int64
@@ -83,6 +88,10 @@ type TrialResult struct {
 	// Success is the paper's criterion: the programmed secret seed is in
 	// the recovered candidate set.
 	Success bool
+	// Stopped and StopReason report a deadline/cancellation/budget bound on
+	// this trial (see core.Result); the trial's counters stay valid.
+	Stopped    bool
+	StopReason core.StopReason
 	// SolverStats snapshots the CDCL solver counters for the trial (summed
 	// over portfolio instances), making perf trajectories comparable across
 	// machines: conflicts don't depend on clock speed.
@@ -94,6 +103,11 @@ type ExperimentResult struct {
 	Entry  bench.Entry
 	Config ExperimentConfig
 	Trials []TrialResult
+	// Stopped is true when a deadline, cancellation, or budget cut the
+	// experiment short: the trial that hit the bound is the last entry and
+	// later trials never ran. StopReason classifies the bound.
+	Stopped    bool
+	StopReason core.StopReason
 }
 
 // AvgCandidates returns the mean candidate count across trials.
@@ -202,14 +216,42 @@ func Fabricate(d *lock.Design, rngSeed int64) (*oracle.Chip, error) {
 }
 
 // Unlock attacks a chip and returns the attack result (see core.Result).
+// Unlock is UnlockCtx under context.Background().
 func Unlock(chip *oracle.Chip, opts core.Options) (*core.Result, error) {
-	return core.Attack(chip, opts)
+	return UnlockCtx(context.Background(), chip, opts)
+}
+
+// UnlockCtx is Unlock with cancellation and tracing (see core.AttackCtx).
+func UnlockCtx(ctx context.Context, chip *oracle.Chip, opts core.Options) (*core.Result, error) {
+	return core.AttackCtx(ctx, chip, opts)
 }
 
 // RunExperiment locks the configured benchmark once and attacks it across
 // Trials independently drawn secret seeds, as in the paper's evaluation
 // ("run for 10 different LFSR seeds … averaged over these 10 runs").
+// RunExperiment is RunExperimentCtx under context.Background().
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return RunExperimentCtx(context.Background(), cfg)
+}
+
+// ctxStop maps a context error to the core stop classification for bounds
+// that fire between trials (inside a trial, core.AttackCtx classifies).
+func ctxStop(ctx context.Context) core.StopReason {
+	if ctx.Err() == context.DeadlineExceeded {
+		return core.StopDeadline
+	}
+	return core.StopCancelled
+}
+
+// RunExperimentCtx is RunExperiment with cancellation and tracing. A
+// deadline, cancellation, or budget stops the experiment at the bound: the
+// trial in flight returns its partial result (recorded with Stopped set)
+// and later trials never start. The partial ExperimentResult is returned
+// with Stopped set — never an error. A trace sink on ctx observes every
+// trial's stage spans and "result" events plus one final "experiment"
+// event summarizing the run.
+func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult, error) {
+	tr := trace.From(ctx)
 	entry, ok := bench.ByName(cfg.Benchmark)
 	if !ok {
 		return nil, fmt.Errorf("dynunlock: unknown benchmark %q", cfg.Benchmark)
@@ -234,15 +276,20 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 	}
 	res := &ExperimentResult{Entry: entry, Config: cfg}
 	for trial := 0; trial < cfg.Trials; trial++ {
+		if ctx.Err() != nil {
+			res.Stopped, res.StopReason = true, ctxStop(ctx)
+			break
+		}
 		chip, err := Fabricate(design, cfg.SeedBase+int64(trial)*7919+1)
 		if err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		atk, err := core.Attack(chip, core.Options{
+		atk, err := core.AttackCtx(ctx, chip, core.Options{
 			Mode:           cfg.Mode,
 			Portfolio:      cfg.Portfolio,
 			EnumerateLimit: cfg.EnumerateLimit,
+			MaxIterations:  cfg.MaxIterations,
 			Log:            cfg.Log,
 		})
 		if err != nil {
@@ -259,12 +306,30 @@ func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
 			Verified:    atk.Verified,
 			Success:     core.ContainsSeed(atk.SeedCandidates, chip.SecretSeed()),
 			SolverStats: atk.SolverStats,
+			Stopped:     atk.Stopped,
+			StopReason:  atk.StopReason,
 		})
 		if cfg.Log != nil {
 			t := res.Trials[len(res.Trials)-1]
 			fmt.Fprintf(cfg.Log, "%s k=%d trial %d: candidates=%d iters=%d %.2fs success=%v\n",
 				entry.Name, cfg.KeyBits, trial, t.Candidates, t.Iterations, t.Seconds, t.Success)
 		}
+		// An iteration bound is per trial; every other bound ends the
+		// experiment where it stands.
+		if atk.Stopped && atk.StopReason != core.StopIterations {
+			res.Stopped, res.StopReason = true, atk.StopReason
+			break
+		}
 	}
+	tr.Emit(trace.Event{Type: "experiment", Fields: map[string]any{
+		"benchmark":   entry.Name,
+		"key_bits":    cfg.KeyBits,
+		"policy":      cfg.Policy.String(),
+		"trials_run":  len(res.Trials),
+		"trials_want": cfg.Trials,
+		"stopped":     res.Stopped,
+		"stop_reason": string(res.StopReason),
+		"succeeded":   res.AllSucceeded(),
+	}})
 	return res, nil
 }

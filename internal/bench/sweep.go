@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,15 +21,29 @@ import (
 // On error the sweep stops handing out new items, waits for in-flight
 // items, and returns the error with the lowest item index (deterministic
 // regardless of scheduling). Results for items that never ran are zero
-// values.
+// values. Sweep is SweepCtx under context.Background().
 func Sweep[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return SweepCtx(context.Background(), workers, items,
+		func(_ context.Context, i int, item T) (R, error) { return fn(i, item) })
+}
+
+// SweepCtx is Sweep with cancellation. The context is checked before each
+// item is handed out: a cancelled context counts as an error at the index
+// of the first item that did not run, wrapped so errors.Is sees the context
+// error, and it participates in the lowest-index-error rule like any fn
+// error. In-flight items are waited for, never abandoned; fn receives ctx
+// so long-running items (attacks) can observe the same cancellation.
+func SweepCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		for i, it := range items {
-			r, err := fn(i, it)
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("item %d: %w", i, err)
+			}
+			r, err := fn(ctx, i, it)
 			if err != nil {
 				return out, err
 			}
@@ -47,6 +63,14 @@ func Sweep[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) 
 	)
 	errIdx := len(items)
 	var firstErr error
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -56,14 +80,13 @@ func Sweep[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) 
 				if i >= len(items) || failed.Load() {
 					return
 				}
-				r, err := fn(i, items[i])
+				if err := ctx.Err(); err != nil {
+					record(i, fmt.Errorf("item %d: %w", i, err))
+					return
+				}
+				r, err := fn(ctx, i, items[i])
 				if err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
+					record(i, err)
 					return
 				}
 				out[i] = r

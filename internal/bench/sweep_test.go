@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -70,6 +71,78 @@ func TestSweepStopsAfterError(t *testing.T) {
 	}
 	if n := ran.Load(); n >= int64(len(items)) {
 		t.Fatalf("sweep did not stop early: ran %d items", n)
+	}
+}
+
+func TestSweepCtxCancelBetweenItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 10)
+	var ran atomic.Int64
+	got, err := SweepCtx(ctx, 1, items, func(ctx context.Context, i, item int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			cancel() // next hand-out sees the cancelled context
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Sequential: exactly items 0..2 ran, and the error names item 3, the
+	// first item that never started.
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("ran %d items", n)
+	}
+	if err.Error() != "item 3: context canceled" {
+		t.Fatalf("error = %v", err)
+	}
+	if got[2] != 3 || got[3] != 0 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+func TestSweepCtxCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 100)
+	var ran atomic.Int64
+	_, err := SweepCtx(ctx, 4, items, func(ctx context.Context, i, item int) (int, error) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= int64(len(items)) {
+		t.Fatalf("sweep did not stop early: ran %d items", n)
+	}
+}
+
+// A ctx cancellation detected at a low index must beat an fn error at a
+// higher index, like any other error under the lowest-index rule.
+func TestSweepCtxErrorIndexRule(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SweepCtx(ctx, 1, make([]int, 4), func(ctx context.Context, i, item int) (int, error) {
+		return 0, errors.New("fn must not run under a pre-cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) || err.Error() != "item 0: context canceled" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepCtxBackgroundMatchesSweep(t *testing.T) {
+	items := []int{5, 6, 7}
+	a, errA := Sweep(1, items, func(i, item int) (int, error) { return item * 2, nil })
+	b, errB := SweepCtx(context.Background(), 1, items, func(_ context.Context, i, item int) (int, error) { return item * 2, nil })
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d: %d vs %d", i, a[i], b[i])
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -11,6 +12,20 @@ import (
 	"dynunlock/internal/sat"
 	"dynunlock/internal/satattack"
 	"dynunlock/internal/sim"
+	"dynunlock/internal/trace"
+)
+
+// StopReason re-exports the satattack stop classification so callers of the
+// core API need not import the engine package.
+type StopReason = satattack.StopReason
+
+// Stop reasons (see satattack).
+const (
+	StopNone       = satattack.StopNone
+	StopDeadline   = satattack.StopDeadline
+	StopCancelled  = satattack.StopCancelled
+	StopBudget     = satattack.StopBudget
+	StopIterations = satattack.StopIterations
 )
 
 // Options configures the DynUnlock attack.
@@ -73,6 +88,12 @@ type Result struct {
 	// and race wins (one entry for sequential runs).
 	InstanceStats []sat.Stats
 	InstanceWins  []int
+	// Stopped is true when a deadline, cancellation, or budget bounded the
+	// attack (see satattack.Result.Stopped); counters and any recovered
+	// candidates remain valid, but the set may be incomplete.
+	Stopped bool
+	// StopReason classifies the bound that fired when Stopped is true.
+	StopReason StopReason
 }
 
 // ChipOracle adapts a scan session on the real chip to the combinational
@@ -107,8 +128,21 @@ func (o *ChipOracle) Query(in []bool) []bool {
 
 // Attack runs DynUnlock end to end against a chip the attacker owns:
 // model construction (Algorithm 1), the SAT attack loop (Fig. 3), seed
-// enumeration, and probe-based verification.
+// enumeration, and probe-based verification. Attack is AttackCtx under
+// context.Background().
 func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+	return AttackCtx(context.Background(), chip, opts)
+}
+
+// AttackCtx is Attack with cancellation and tracing. Cancelling ctx or
+// exceeding its deadline stops the attack at the next solver check point and
+// returns a partial Result with Stopped set — never an error, a hang, or a
+// panic. A trace sink installed on ctx (trace.With) observes one span per
+// Fig. 3 stage: unroll, encode, dip_loop, extract, enumerate, refine,
+// verify. With a background context and no sink, behavior is bit-identical
+// to the unbounded sequential attack.
+func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, error) {
+	tr := trace.From(ctx)
 	start := time.Now()
 	d := chip.Design()
 	if opts.EnumerateLimit == 0 {
@@ -117,6 +151,20 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 	if opts.VerifyProbes == 0 {
 		opts.VerifyProbes = 8
 	}
+
+	// Tester-time accounting: every scan session reports its cycle cost.
+	// The previous hook is chained and restored so nested attacks compose.
+	var oracleSessions, oracleCycles uint64
+	prevHook := chip.SessionHook
+	chip.SessionHook = func(cycles uint64) {
+		oracleSessions++
+		oracleCycles += cycles
+		if prevHook != nil {
+			prevHook(cycles)
+		}
+	}
+	defer func() { chip.SessionHook = prevHook }()
+
 	adapter := NewChipOracle(chip, opts.TestKey)
 	saOpts := satattack.Options{
 		Portfolio:      opts.Portfolio,
@@ -129,17 +177,22 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 	res := &Result{Mode: opts.Mode}
 	switch opts.Mode {
 	case ModeDirect:
+		unroll := tr.Start("unroll")
 		model, err := BuildModel(d, 0)
 		if err != nil {
+			unroll.End()
 			return nil, err
 		}
 		res.Rank = model.Rank()
 		res.PredictedLog2 = model.PredictedCandidatesLog2()
+		unroll.Add("key_bits", uint64(d.Config.KeyBits))
+		unroll.Add("rank", uint64(res.Rank))
+		unroll.End()
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "direct model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
 				model.Netlist.Stats(), res.Rank, res.PredictedLog2)
 		}
-		saRes, err := satattack.Run(model.Locked, adapter, saOpts)
+		saRes, err := satattack.RunCtx(ctx, model.Locked, adapter, saOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -149,6 +202,8 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		res.SolverStats = saRes.SolverStats
 		res.InstanceStats = saRes.InstanceStats
 		res.InstanceWins = saRes.InstanceWins
+		res.Stopped = saRes.Stopped
+		res.StopReason = saRes.StopReason
 		for _, c := range saRes.Candidates {
 			res.SeedCandidates = append(res.SeedCandidates, gf2.FromBools(c))
 		}
@@ -157,18 +212,23 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		}
 
 	default: // ModeLinear
+		unroll := tr.Start("unroll")
 		mm, err := BuildMaskModel(d, 0)
 		if err != nil {
+			unroll.End()
 			return nil, err
 		}
 		stacked := gf2.VStack(mm.A, mm.B)
 		res.Rank = gf2.Rank(stacked)
 		res.PredictedLog2 = d.Config.KeyBits - res.Rank
+		unroll.Add("key_bits", uint64(d.Config.KeyBits))
+		unroll.Add("rank", uint64(res.Rank))
+		unroll.End()
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "mask model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
 				mm.Netlist.Stats(), res.Rank, res.PredictedLog2)
 		}
-		saRes, err := satattack.Run(mm.Locked, adapter, saOpts)
+		saRes, err := satattack.RunCtx(ctx, mm.Locked, adapter, saOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -177,11 +237,14 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		res.SolverStats = saRes.SolverStats
 		res.InstanceStats = saRes.InstanceStats
 		res.InstanceWins = saRes.InstanceWins
+		res.Stopped = saRes.Stopped
+		res.StopReason = saRes.StopReason
 		masks := saRes.Candidates
 		if len(masks) == 0 && saRes.Key != nil {
 			masks = [][]bool{saRes.Key}
 		}
 		res.Exact = saRes.CandidatesExact
+		refine := tr.Start("refine")
 		members := make([]gf2.Vec, len(masks))
 		for i, mk := range masks {
 			members[i] = mm.MaskVector(mk)
@@ -192,23 +255,31 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 			res.Exact = false
 		}
 		res.SeedCandidates = seeds
+		refine.Add("mask_candidates", uint64(len(masks)))
+		refine.Add("seed_candidates", uint64(len(seeds)))
+		refine.End()
 	}
 
 	res.Queries = adapter.Sessions
 
 	// Attacker-side verification: every candidate must reproduce the chip
-	// on fresh random sessions.
+	// on fresh random sessions. A partial candidate set from a stopped run
+	// is still verified — the probes are closed-form, not SAT work.
+	verify := tr.Start("verify")
 	v, err := NewVerifier(d)
 	if err != nil {
+		verify.End()
 		return nil, err
 	}
 	res.Verified = len(res.SeedCandidates) > 0
 	rngProbe := newSplitMix(0x9e3779b97f4a7c15)
+	probes := 0
 	for p := 0; p < opts.VerifyProbes && res.Verified; p++ {
 		scanIn := randomBits(rngProbe, d.Chain.Length)
 		pi := randomBits(rngProbe, d.View.NumPI)
 		chip.Reset()
 		gotOut, gotPO := chip.Session(adapter.TestKey, scanIn, pi)
+		probes++
 		for _, seed := range res.SeedCandidates {
 			wantOut, wantPO := v.Session(seed, scanIn, pi)
 			if !eqBits(gotOut, wantOut) || !eqBits(gotPO, wantPO) {
@@ -217,7 +288,26 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 			}
 		}
 	}
+	verify.Add("probes", uint64(probes))
+	verify.Add("candidates", uint64(len(res.SeedCandidates)))
+	verify.End()
 	res.Elapsed = time.Since(start)
+	tr.Emit(trace.Event{Type: "result", Fields: map[string]any{
+		"mode":            res.Mode.String(),
+		"stopped":         res.Stopped,
+		"stop_reason":     string(res.StopReason),
+		"iterations":      res.Iterations,
+		"queries":         res.Queries,
+		"candidates":      len(res.SeedCandidates),
+		"exact":           res.Exact,
+		"converged":       res.Converged,
+		"verified":        res.Verified,
+		"rank":            res.Rank,
+		"oracle_sessions": oracleSessions,
+		"oracle_cycles":   oracleCycles,
+		"conflicts":       res.SolverStats.Conflicts,
+		"elapsed_ms":      res.Elapsed.Milliseconds(),
+	}})
 	return res, nil
 }
 

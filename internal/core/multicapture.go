@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dynunlock/internal/gf2"
@@ -9,6 +10,7 @@ import (
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/satattack"
 	"dynunlock/internal/scan"
+	"dynunlock/internal/trace"
 )
 
 // maskMatricesN computes the scan-in matrix A and the scan-out matrix B
@@ -221,24 +223,38 @@ func (o *multiChipOracle) Query(in []bool) []bool {
 // and combines its linear constraints with those of the single-capture
 // masks: the seed candidates must satisfy every recovered mask under both
 // B matrices, which prunes rank-deficient cases exactly as the paper's
-// "second capture" refinement describes.
+// "second capture" refinement describes. AttackMulti is AttackMultiCtx
+// under context.Background().
 func AttackMulti(chip *oracle.Chip, captures int, opts Options) (*Result, error) {
+	return AttackMultiCtx(context.Background(), chip, captures, opts)
+}
+
+// AttackMultiCtx is AttackMulti with cancellation and tracing, with the
+// same partial-result semantics as AttackCtx.
+func AttackMultiCtx(ctx context.Context, chip *oracle.Chip, captures int, opts Options) (*Result, error) {
 	if captures < 2 {
-		return Attack(chip, opts)
+		return AttackCtx(ctx, chip, opts)
 	}
+	tr := trace.From(ctx)
 	d := chip.Design()
 	if opts.EnumerateLimit == 0 {
 		opts.EnumerateLimit = 256
 	}
+	unroll := tr.Start("unroll")
 	mm, err := BuildMaskModelN(d, 0, captures)
 	if err != nil {
+		unroll.End()
 		return nil, err
 	}
+	unroll.Add("captures", uint64(captures))
+	unroll.Add("key_bits", uint64(d.Config.KeyBits))
+	unroll.End()
 	if opts.TestKey == nil {
 		opts.TestKey = make([]bool, d.Config.KeyBits)
 	}
 	adapter := &multiChipOracle{chip: chip, testKey: opts.TestKey, captures: captures}
-	saRes, err := satattack.Run(mm.Locked, adapter, satattack.Options{
+	saRes, err := satattack.RunCtx(ctx, mm.Locked, adapter, satattack.Options{
+		Portfolio:      opts.Portfolio,
 		MaxIterations:  opts.MaxIterations,
 		EnumerateLimit: opts.EnumerateLimit,
 		ConflictBudget: opts.ConflictBudget,
@@ -253,16 +269,21 @@ func AttackMulti(chip *oracle.Chip, captures int, opts Options) (*Result, error)
 		Queries:    adapter.sessions,
 		Converged:  saRes.Converged,
 		Exact:      saRes.CandidatesExact,
+		Stopped:    saRes.Stopped,
+		StopReason: saRes.StopReason,
 	}
 	stacked := gf2.VStack(mm.A, mm.B)
 	res.Rank = gf2.Rank(stacked)
 	res.PredictedLog2 = d.Config.KeyBits - res.Rank
 	res.SolverStats = saRes.SolverStats
+	res.InstanceStats = saRes.InstanceStats
+	res.InstanceWins = saRes.InstanceWins
 
 	masks := saRes.Candidates
 	if len(masks) == 0 && saRes.Key != nil {
 		masks = [][]bool{saRes.Key}
 	}
+	refine := tr.Start("refine")
 	members := make([]gf2.Vec, len(masks))
 	for i, mk := range masks {
 		members[i] = mm.MaskVector(mk)
@@ -274,6 +295,9 @@ func AttackMulti(chip *oracle.Chip, captures int, opts Options) (*Result, error)
 		res.Exact = false
 	}
 	res.SeedCandidates = seeds
+	refine.Add("mask_candidates", uint64(len(masks)))
+	refine.Add("seed_candidates", uint64(len(seeds)))
+	refine.End()
 	res.Verified = len(seeds) > 0 // probe verification is the caller's via Verifier if needed
 	return res, nil
 }

@@ -1,12 +1,13 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"os"
 	"testing"
 	"time"
 
 	"dynunlock/internal/scan"
+	"dynunlock/internal/trace"
 )
 
 // Paper-scale attack runs (full flop counts, 128-bit keys). Opt in with
@@ -15,7 +16,9 @@ import (
 //
 // Measured results are recorded in EXPERIMENTS.md. The largest circuits
 // (s38584/s38417/s35932, 1233–1728 flops) take tens of minutes to hours
-// per trial on the built-in solver.
+// per trial on the built-in solver. Progress streams through a trace
+// TextSink onto stderr (visible under -v), and per-stage timings come from
+// the span records — no raw prints from library or test code.
 func TestPaperScale(t *testing.T) {
 	if os.Getenv("DYNUNLOCK_PAPERSCALE") == "" {
 		t.Skip("set DYNUNLOCK_PAPERSCALE=1 for paper-scale runs")
@@ -40,14 +43,19 @@ func TestPaperScale(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			start := time.Now()
 			_, chip := lockedChip(t, tc.ffs, tc.k, scan.PerCycle, 42, 43)
-			res, err := Attack(chip, Options{EnumerateLimit: 256, Log: os.Stdout})
+			collector := trace.NewCollector()
+			ctx := trace.With(context.Background(), trace.Multi(collector, trace.NewTextSink(os.Stderr)))
+			res, err := AttackCtx(ctx, chip, Options{EnumerateLimit: 256})
 			if err != nil {
 				t.Fatal(err)
 			}
-			fmt.Printf("RESULT %s ffs=%d k=%d: %v iters=%d cands=%d exact=%v rank=%d verified=%v conflicts=%d\n",
+			t.Logf("RESULT %s ffs=%d k=%d: %v iters=%d cands=%d exact=%v rank=%d verified=%v conflicts=%d",
 				tc.name, tc.ffs, tc.k, time.Since(start).Round(time.Millisecond),
 				res.Iterations, len(res.SeedCandidates), res.Exact, res.Rank,
 				res.Verified, res.SolverStats.Conflicts)
+			for _, sp := range collector.Spans() {
+				t.Logf("STAGE %s %s: %v", tc.name, sp.Name, sp.Duration.Round(time.Millisecond))
+			}
 			if !ContainsSeed(res.SeedCandidates, chip.SecretSeed()) {
 				t.Error("secret not recovered")
 			}

@@ -47,6 +47,11 @@ type Chip struct {
 	linkBits [][]int
 
 	Stats Stats
+
+	// SessionHook, when non-nil, is called at the end of every scan session
+	// with the clock cycles that session consumed. Attack layers install it
+	// to account tester time (trace counters) without wrapping the chip.
+	SessionHook func(cycles uint64)
 }
 
 // New fabricates a chip. secretSeed must have the design's key width; for
@@ -151,6 +156,7 @@ func (c *Chip) SessionN(testKey, scanIn []bool, pis [][]bool) (scanOut []bool, p
 		}
 	}
 	match := len(testKey) == len(c.authKey) && constantTimeEqual(testKey, c.authKey)
+	cyclesBefore := c.Stats.Cycles
 
 	key := func() []bool {
 		if match {
@@ -181,6 +187,9 @@ func (c *Chip) SessionN(testKey, scanIn []bool, pis [][]bool) (scanOut []bool, p
 	}
 	c.patterns++
 	c.Stats.Sessions++
+	if c.SessionHook != nil {
+		c.SessionHook(c.Stats.Cycles - cyclesBefore)
+	}
 	return scanOut, pos
 }
 

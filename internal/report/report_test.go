@@ -3,6 +3,9 @@ package report
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"dynunlock/internal/trace"
 )
 
 func TestTableRender(t *testing.T) {
@@ -39,5 +42,29 @@ func TestTableNoTitle(t *testing.T) {
 	tb.AddRow(1, 2)
 	if strings.HasPrefix(tb.String(), "\n") {
 		t.Fatal("stray blank title line")
+	}
+}
+
+func TestStageTableAggregates(t *testing.T) {
+	spans := []trace.SpanRecord{
+		{Name: "encode", Duration: 2 * time.Millisecond, Counters: map[string]uint64{"clauses": 100}},
+		{Name: "dip_loop", Duration: 5 * time.Millisecond, Counters: map[string]uint64{"dips": 3, "conflicts": 40}},
+		{Name: "encode", Duration: 3 * time.Millisecond, Counters: map[string]uint64{"clauses": 50}},
+		{Name: "verify", Duration: time.Millisecond, Counters: nil},
+	}
+	out := StageTable("Stages", spans).String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// First-seen order: encode, dip_loop, verify — after title + header + rule.
+	if !strings.HasPrefix(lines[3], "encode") || !strings.HasPrefix(lines[4], "dip_loop") || !strings.HasPrefix(lines[5], "verify") {
+		t.Fatalf("row order wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "clauses=150") || !strings.Contains(lines[3], "5") {
+		t.Fatalf("encode row not aggregated:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "conflicts=40 dips=3") {
+		t.Fatalf("counters not sorted by key:\n%s", out)
+	}
+	if !strings.Contains(lines[5], "-") {
+		t.Fatalf("empty counters not dashed:\n%s", out)
 	}
 }

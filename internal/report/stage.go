@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dynunlock/internal/trace"
+)
+
+// StageTable aggregates trace span records into a per-stage timing table:
+// one row per distinct span name in first-seen order, summing durations and
+// counters across repeated spans (e.g. one span per trial). This is how the
+// CLIs turn a trace collector into the Fig. 3 stage breakdown.
+func StageTable(title string, spans []trace.SpanRecord) *Table {
+	type agg struct {
+		calls    int
+		total    time.Duration
+		counters map[string]uint64
+	}
+	order := []string{}
+	byName := map[string]*agg{}
+	for _, sp := range spans {
+		a, ok := byName[sp.Name]
+		if !ok {
+			a = &agg{counters: map[string]uint64{}}
+			byName[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.calls++
+		a.total += sp.Duration
+		for k, v := range sp.Counters {
+			a.counters[k] += v
+		}
+	}
+	tb := New(title, "Stage", "Calls", "Time (ms)", "Counters")
+	for _, name := range order {
+		a := byName[name]
+		// Plain ASCII milliseconds: duration strings mix µ (multibyte) into
+		// the byte-width column alignment.
+		tb.AddRow(name, a.calls, float64(a.total)/float64(time.Millisecond), counterString(a.counters))
+	}
+	return tb
+}
+
+// counterString renders counters deterministically as "k=v k=v" in key
+// order; empty counters render as "-" so columns stay aligned.
+func counterString(c map[string]uint64) string {
+	if len(c) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return strings.Join(parts, " ")
+}

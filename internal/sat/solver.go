@@ -14,6 +14,7 @@ package sat
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -114,6 +115,13 @@ type Solver struct {
 	// ConflictBudget, when positive, bounds the total number of conflicts a
 	// Solve call may spend before returning Unknown.
 	ConflictBudget int64
+
+	// PropagationBudget, when positive, bounds the total number of unit
+	// propagations a Solve call may spend before returning Unknown. It is a
+	// finer-grained work bound than ConflictBudget: propagation count grows
+	// even on conflict-free descents, so it also caps easy-but-huge
+	// instances.
+	PropagationBudget int64
 
 	cfg       Config
 	rngState  uint64
@@ -610,7 +618,7 @@ func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
 			s.Stats.Restarts++
 			return Unknown
 		}
-		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
+		if s.budgetExhausted() {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -685,7 +693,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if s.interrupt.Load() {
 			break
 		}
-		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
+		if s.budgetExhausted() {
 			break
 		}
 		var base float64
@@ -703,6 +711,61 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	}
 	s.cancelUntil(0)
 	return status
+}
+
+// budgetExhausted reports whether a configured conflict or propagation
+// budget has been spent.
+func (s *Solver) budgetExhausted() bool {
+	if s.ConflictBudget > 0 && int64(s.Stats.Conflicts) >= s.ConflictBudget {
+		return true
+	}
+	if s.PropagationBudget > 0 && int64(s.Stats.Propagations) >= s.PropagationBudget {
+		return true
+	}
+	return false
+}
+
+// BudgetExhausted reports whether the last Unknown result was caused by a
+// conflict or propagation budget rather than an interrupt. Callers that
+// mix budgets with cancellation use it to attribute the stop.
+func (s *Solver) BudgetExhausted() bool { return s.budgetExhausted() }
+
+// SolveCtx is Solve with context-scoped cancellation, built on the same
+// atomic interrupt flag a portfolio race uses: a watcher goroutine
+// observes ctx.Done and interrupts the in-flight search, which then
+// returns Unknown. The watcher is joined before SolveCtx returns and the
+// interrupt is re-armed when the context was the cause, so the solver
+// stays reusable for later Solve/SolveCtx calls.
+//
+// A context that can never be cancelled (ctx.Done() == nil, e.g.
+// context.Background()) takes the plain Solve path with no goroutine and
+// no extra synchronization — bit-for-bit the sequential behavior.
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...cnf.Lit) Status {
+	if ctx == nil || ctx.Done() == nil {
+		return s.Solve(assumptions...)
+	}
+	if ctx.Err() != nil {
+		return Unknown
+	}
+	quit := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			s.Interrupt()
+		case <-quit:
+		}
+	}()
+	st := s.Solve(assumptions...)
+	close(quit)
+	<-watcherDone
+	if st == Unknown && ctx.Err() != nil {
+		// The interrupt belongs to this call's context; clear it so the
+		// solver is not poisoned for subsequent calls.
+		s.ClearInterrupt()
+	}
+	return st
 }
 
 // Model returns the satisfying assignment from the last Sat result,

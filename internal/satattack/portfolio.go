@@ -1,10 +1,13 @@
 // Portfolio SAT attack: every SAT call of the DIP loop and of candidate
 // enumeration is raced across N diversified solver/encoder instances. The
-// first instance to return a definitive answer wins the race; the losers
-// are interrupted (sat.Interrupt) and the winning distinguishing input and
-// oracle response — or blocking clause — are replayed into every instance,
-// so all clause databases stay logically equivalent and any instance can
-// win the next race.
+// race is context-scoped: each race derives a child context, the first
+// instance to return a definitive answer wins and cancels the child, and
+// the losers' ctx watchers interrupt their searches — so cancelling the
+// parent context (deadline, cmd-line -timeout, caller cancellation) tears
+// the whole race down through the same mechanism. The winning
+// distinguishing input and oracle response — or blocking clause — are
+// replayed into every instance, so all clause databases stay logically
+// equivalent and any instance can win the next race.
 //
 // Diversification (sat.Diversify) varies the VSIDS decay, restart policy,
 // initial phases, and random-decision seed per instance; instance 0 always
@@ -20,6 +23,7 @@
 package satattack
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -27,6 +31,7 @@ import (
 	"dynunlock/internal/cnf"
 	"dynunlock/internal/encode"
 	"dynunlock/internal/sat"
+	"dynunlock/internal/trace"
 )
 
 // pfInstance is one diversified solver with its own encoding of the locked
@@ -75,22 +80,27 @@ func newPortfolio(l *Locked, n int, budget int64) *portfolio {
 
 // race runs one SAT call on every instance concurrently and returns the
 // index and status of the first definitive (Sat/Unsat) finisher, after
-// interrupting and draining the rest. If every instance returns Unknown
-// (conflict budget exhausted) the winner index is -1.
-func (p *portfolio) race(withMiter bool) (int, sat.Status) {
+// cancelling and draining the rest. Every instance solves under a child
+// context of ctx: the winner cancels it to stop the losers, and a parent
+// cancellation or deadline stops the whole race the same way. If every
+// instance returns Unknown (parent cancelled, or conflict budget
+// exhausted) the winner index is -1.
+func (p *portfolio) race(ctx context.Context, withMiter bool) (int, sat.Status) {
 	type outcome struct {
 		idx int
 		st  sat.Status
 	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ch := make(chan outcome, len(p.insts))
 	for i, in := range p.insts {
 		in.s.ClearInterrupt()
 		go func(i int, in *pfInstance) {
 			var st sat.Status
 			if withMiter {
-				st = in.s.Solve(in.miter)
+				st = in.s.SolveCtx(raceCtx, in.miter)
 			} else {
-				st = in.s.Solve()
+				st = in.s.SolveCtx(raceCtx)
 			}
 			ch <- outcome{i, st}
 		}(i, in)
@@ -100,11 +110,7 @@ func (p *portfolio) race(withMiter bool) (int, sat.Status) {
 		o := <-ch
 		if winner == -1 && o.st != sat.Unknown {
 			winner, st = o.idx, o.st
-			for j, other := range p.insts {
-				if j != o.idx {
-					other.s.Interrupt()
-				}
-			}
+			cancel() // losers stop via their ctx watchers
 		}
 	}
 	for _, in := range p.insts {
@@ -147,22 +153,76 @@ func (p *portfolio) block(k []bool) bool {
 	return ok
 }
 
-// runPortfolio is the portfolio counterpart of Run.
-func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
-	start := time.Now()
-	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget)
-	res := &Result{}
+// statsSum returns the element-wise sum of every instance's solver
+// counters: total work across the portfolio, not critical-path work.
+func (p *portfolio) statsSum() sat.Stats {
+	var sum sat.Stats
+	for _, in := range p.insts {
+		sum.Decisions += in.s.Stats.Decisions
+		sum.Propagations += in.s.Stats.Propagations
+		sum.Conflicts += in.s.Stats.Conflicts
+		sum.Restarts += in.s.Stats.Restarts
+		sum.Learnt += in.s.Stats.Learnt
+		sum.Removed += in.s.Stats.Removed
+	}
+	return sum
+}
 
+// runPortfolio is the portfolio counterpart of RunCtx: same stage spans,
+// same typed partial results, with every SAT call raced across instances.
+func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, error) {
+	tr := trace.From(ctx)
+	start := time.Now()
+
+	enc := tr.Start("encode")
+	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget)
+	enc.Add("instances", uint64(len(p.insts)))
+	enc.Add("vars", uint64(p.insts[0].s.NumVars()))
+	enc.Add("clauses", uint64(p.insts[0].s.NumClauses()))
+	enc.End()
+
+	res := &Result{}
+	finish := func(reason StopReason) *Result {
+		if reason != StopNone {
+			res.Stopped = true
+			res.StopReason = reason
+		}
+		res.SolverStats = p.statsSum()
+		for _, in := range p.insts {
+			res.InstanceStats = append(res.InstanceStats, in.s.Stats)
+		}
+		res.InstanceWins = append([]int(nil), p.wins...)
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
+	loop := tr.Start("dip_loop")
+	loopMark := p.statsSum()
+	endLoop := func() {
+		addStatsDelta(loop, loopMark, p.statsSum())
+		loop.Add("dips", uint64(res.Iterations))
+		loop.Add("oracle_queries", uint64(res.Queries))
+		loop.End()
+	}
+	stop := StopNone
+dipLoop:
 	for {
-		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+		if err := ctx.Err(); err != nil {
+			stop = ctxStopReason(ctx)
 			break
 		}
-		winner, st := p.race(true)
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			stop = StopIterations
+			break
+		}
+		winner, st := p.race(ctx, true)
 		switch st {
 		case sat.Unsat:
 			res.Converged = true
+			break dipLoop
 		case sat.Unknown:
-			return nil, ErrBudget
+			stop = ctxStopReason(ctx)
+			break dipLoop
 		case sat.Sat:
 			w := p.insts[winner]
 			dip := w.e.ModelBits(w.x)
@@ -170,9 +230,12 @@ func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
 			res.Queries++
 			res.Iterations++
 			if len(resp) != len(l.View.Outputs) {
+				endLoop()
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
 			p.replayDIP(dip, resp)
+			tr.Progressf("iter %d: dip=%s inst=%d clauses=%d",
+				res.Iterations, bitString(dip), winner, w.s.NumClauses())
 			if opts.Log != nil {
 				fmt.Fprintf(opts.Log, "iter %d: dip=%s inst=%d clauses=%d\n",
 					res.Iterations, bitString(dip), winner, w.s.NumClauses())
@@ -180,31 +243,44 @@ func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
 			if opts.DumpCNF != nil {
 				opts.DumpCNF(res.Iterations, w.s.WriteDimacs)
 			}
-			continue
 		}
-		break
+	}
+	endLoop()
+	if stop != StopNone && stop != StopIterations {
+		return finish(stop), nil
 	}
 
 	// Key extraction.
-	winner, st := p.race(false)
+	ext := tr.Start("extract")
+	extMark := p.statsSum()
+	winner, st := p.race(ctx, false)
+	addStatsDelta(ext, extMark, p.statsSum())
+	ext.End()
 	switch st {
 	case sat.Unsat:
 		return nil, ErrUnsat
 	case sat.Unknown:
-		return nil, ErrBudget
+		return finish(ctxStopReason(ctx)), nil
 	}
 	w := p.insts[winner]
 	res.Key = w.e.ModelBits(w.k1)
 
 	if opts.EnumerateLimit > 0 {
+		enumSp := tr.Start("enumerate")
+		enumMark := p.statsSum()
 		res.Candidates = [][]bool{append([]bool(nil), res.Key...)}
 		res.CandidatesExact = false
 		if p.block(res.Key) {
+		enumLoop:
 			for len(res.Candidates) < opts.EnumerateLimit {
-				winner, st := p.race(false)
-				if st != sat.Sat {
+				winner, st := p.race(ctx, false)
+				switch {
+				case st == sat.Unknown:
+					stop = ctxStopReason(ctx)
+					break enumLoop
+				case st != sat.Sat:
 					res.CandidatesExact = st == sat.Unsat
-					break
+					break enumLoop
 				}
 				w := p.insts[winner]
 				k := w.e.ModelBits(w.k1)
@@ -214,10 +290,14 @@ func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
 					break
 				}
 			}
-			if len(res.Candidates) == opts.EnumerateLimit && !res.CandidatesExact {
+			if stop == StopNone && len(res.Candidates) == opts.EnumerateLimit && !res.CandidatesExact {
 				// Limit reached; check whether anything remains.
-				_, st := p.race(false)
-				res.CandidatesExact = st == sat.Unsat
+				_, st := p.race(ctx, false)
+				if st == sat.Unknown {
+					stop = ctxStopReason(ctx)
+				} else {
+					res.CandidatesExact = st == sat.Unsat
+				}
 			}
 		} else {
 			res.CandidatesExact = true
@@ -225,20 +305,11 @@ func runPortfolio(l *Locked, o Oracle, opts Options) (*Result, error) {
 		// Race winners enumerate keys in solver-dependent order; report the
 		// class in a canonical order so portfolio size never changes output.
 		sortKeys(res.Candidates)
+		addStatsDelta(enumSp, enumMark, p.statsSum())
+		enumSp.Add("candidates", uint64(len(res.Candidates)))
+		enumSp.End()
 	}
-
-	for _, in := range p.insts {
-		res.InstanceStats = append(res.InstanceStats, in.s.Stats)
-		res.SolverStats.Decisions += in.s.Stats.Decisions
-		res.SolverStats.Propagations += in.s.Stats.Propagations
-		res.SolverStats.Conflicts += in.s.Stats.Conflicts
-		res.SolverStats.Restarts += in.s.Stats.Restarts
-		res.SolverStats.Learnt += in.s.Stats.Learnt
-		res.SolverStats.Removed += in.s.Stats.Removed
-	}
-	res.InstanceWins = append([]int(nil), p.wins...)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(stop), nil
 }
 
 // sortKeys orders bit vectors lexicographically (false < true).

@@ -14,6 +14,7 @@
 package satattack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"dynunlock/internal/encode"
 	"dynunlock/internal/netlist"
 	"dynunlock/internal/sat"
+	"dynunlock/internal/trace"
 )
 
 // Locked is a combinational locked circuit: a view whose inputs are split
@@ -111,6 +113,33 @@ type Options struct {
 	DumpCNF func(iteration int, dump func(w io.Writer) error)
 }
 
+// StopReason classifies why an attack stopped before completing.
+type StopReason string
+
+// Stop reasons. StopIterations leaves the accumulated constraints usable,
+// so key extraction and enumeration still run; the other reasons abort the
+// attack where it stands and the Result is partial.
+const (
+	StopNone       StopReason = ""
+	StopDeadline   StopReason = "deadline"
+	StopCancelled  StopReason = "cancelled"
+	StopBudget     StopReason = "budget"
+	StopIterations StopReason = "max-iterations"
+)
+
+// ctxStopReason maps a context error to its stop reason; a nil error means
+// the solver's own budget was the cause.
+func ctxStopReason(ctx context.Context) StopReason {
+	switch ctx.Err() {
+	case context.DeadlineExceeded:
+		return StopDeadline
+	case nil:
+		return StopBudget
+	default:
+		return StopCancelled
+	}
+}
+
 // Result reports the attack outcome.
 type Result struct {
 	// Key is one key consistent with every oracle response.
@@ -140,26 +169,46 @@ type Result struct {
 	// InstanceWins counts, per instance, the races that instance finished
 	// first (every SAT call is one race; sequential runs win them all).
 	InstanceWins []int
+	// Stopped is true when a deadline, cancellation, or budget bounded the
+	// attack before it finished; the Result is then partial (Key and
+	// Candidates may be nil) but every counter is valid. StopIterations is
+	// the exception: the DIP loop was bounded, yet extraction and
+	// enumeration still ran on the accumulated constraints.
+	Stopped bool
+	// StopReason classifies the bound that fired when Stopped is true.
+	StopReason StopReason
 }
-
-// ErrBudget is returned when the solver exhausts its conflict budget.
-var ErrBudget = errors.New("satattack: conflict budget exhausted")
 
 // ErrUnsat is returned when the accumulated constraints become
 // unsatisfiable, which indicates an oracle inconsistent with the model.
 var ErrUnsat = errors.New("satattack: constraints unsatisfiable; oracle does not match the locked model")
 
-// Run executes the SAT attack. With Options.Portfolio > 1 the DIP loop and
-// enumeration race diversified solver instances (see portfolio.go);
-// otherwise the sequential engine below runs.
+// Run executes the SAT attack with no cancellation: Run is RunCtx under
+// context.Background().
 func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), l, o, opts)
+}
+
+// RunCtx executes the SAT attack. With Options.Portfolio > 1 the DIP loop
+// and enumeration race diversified solver instances (see portfolio.go);
+// otherwise the sequential engine below runs.
+//
+// Cancelling ctx — or exhausting its deadline, or the conflict budget —
+// never returns an error: the attack stops at the next solver check point
+// and returns the partial Result with Stopped set and StopReason naming
+// the bound. A background context and no trace sink reproduce the
+// unbounded sequential behavior bit for bit.
+func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Portfolio > 1 {
-		return runPortfolio(l, o, opts)
+		return runPortfolio(ctx, l, o, opts)
 	}
+	tr := trace.From(ctx)
 	start := time.Now()
+
+	enc := tr.Start("encode")
 	s := sat.New()
 	s.ConflictBudget = opts.ConflictBudget
 	e := encode.New(s)
@@ -179,30 +228,65 @@ func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 			s.BumpActivity(kl.Var(), 1)
 		}
 	}
+	enc.Add("vars", uint64(s.NumVars()))
+	enc.Add("clauses", uint64(s.NumClauses()))
+	enc.End()
 
 	res := &Result{}
+	finish := func(reason StopReason, solves int) *Result {
+		if reason != StopNone {
+			res.Stopped = true
+			res.StopReason = reason
+		}
+		res.SolverStats = s.Stats
+		res.InstanceStats = []sat.Stats{s.Stats}
+		res.InstanceWins = []int{solves}
+		res.Elapsed = time.Since(start)
+		return res
+	}
+
 	solves := 0
+	loop := tr.Start("dip_loop")
+	loopMark := s.Stats
+	endLoop := func() {
+		addStatsDelta(loop, loopMark, s.Stats)
+		loop.Add("dips", uint64(res.Iterations))
+		loop.Add("oracle_queries", uint64(res.Queries))
+		loop.End()
+	}
+	stop := StopNone
+dipLoop:
 	for {
+		if err := ctx.Err(); err != nil {
+			stop = ctxStopReason(ctx)
+			break
+		}
 		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			stop = StopIterations
 			break
 		}
 		solves++
-		switch st := s.Solve(miter); st {
+		switch st := s.SolveCtx(ctx, miter); st {
 		case sat.Unsat:
 			res.Converged = true
+			break dipLoop
 		case sat.Unknown:
-			return nil, ErrBudget
+			stop = ctxStopReason(ctx)
+			break dipLoop
 		case sat.Sat:
 			dip := e.ModelBits(x)
 			resp := o.Query(dip)
 			res.Queries++
 			res.Iterations++
 			if len(resp) != len(l.View.Outputs) {
+				endLoop()
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
 			cx := e.ConstVec(dip)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)
+			tr.Progressf("iter %d: dip=%s clauses=%d conflicts=%d",
+				res.Iterations, bitString(dip), s.NumClauses(), s.Stats.Conflicts)
 			if opts.Log != nil {
 				fmt.Fprintf(opts.Log, "iter %d: dip=%s clauses=%d conflicts=%d\n",
 					res.Iterations, bitString(dip), s.NumClauses(), s.Stats.Conflicts)
@@ -210,32 +294,54 @@ func Run(l *Locked, o Oracle, opts Options) (*Result, error) {
 			if opts.DumpCNF != nil {
 				opts.DumpCNF(res.Iterations, s.WriteDimacs)
 			}
-			continue
 		}
-		break
+	}
+	endLoop()
+	if stop != StopNone && stop != StopIterations {
+		return finish(stop, solves), nil
 	}
 
 	// Key extraction: any key consistent with all recorded I/O pairs.
+	ext := tr.Start("extract")
+	extMark := s.Stats
 	solves++
-	switch st := s.Solve(); st {
+	st := s.SolveCtx(ctx)
+	addStatsDelta(ext, extMark, s.Stats)
+	ext.End()
+	switch st {
 	case sat.Unsat:
 		return nil, ErrUnsat
 	case sat.Unknown:
-		return nil, ErrBudget
+		return finish(ctxStopReason(ctx), solves), nil
 	}
 	res.Key = e.ModelBits(k1)
-	res.SolverStats = s.Stats
 
 	if opts.EnumerateLimit > 0 {
+		enumSp := tr.Start("enumerate")
+		enumMark := s.Stats
 		var enumSolves int
-		res.Candidates, res.CandidatesExact, enumSolves = enumerate(s, e, k1, res.Key, opts.EnumerateLimit)
+		var enumStop StopReason
+		res.Candidates, res.CandidatesExact, enumSolves, enumStop = enumerate(ctx, s, e, k1, res.Key, opts.EnumerateLimit)
 		solves += enumSolves
+		if enumStop != StopNone {
+			stop = enumStop
+		}
+		addStatsDelta(enumSp, enumMark, s.Stats)
+		enumSp.Add("candidates", uint64(len(res.Candidates)))
+		enumSp.End()
 	}
-	res.SolverStats = s.Stats
-	res.InstanceStats = []sat.Stats{s.Stats}
-	res.InstanceWins = []int{solves}
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return finish(stop, solves), nil
+}
+
+// addStatsDelta records the solver-counter growth between two snapshots on
+// a span.
+func addStatsDelta(sp *trace.Span, from, to sat.Stats) {
+	sp.Add("conflicts", to.Conflicts-from.Conflicts)
+	sp.Add("decisions", to.Decisions-from.Decisions)
+	sp.Add("propagations", to.Propagations-from.Propagations)
+	sp.Add("learnt", to.Learnt-from.Learnt)
+	sp.Add("removed", to.Removed-from.Removed)
+	sp.Add("restarts", to.Restarts-from.Restarts)
 }
 
 // assemble builds the full view-input literal vector from attacker inputs
@@ -253,8 +359,10 @@ func (l *Locked) assemble(e *encode.Encoder, in, key []cnf.Lit) []cnf.Lit {
 
 // enumerate lists satisfying assignments of the key literals via blocking
 // clauses, starting from first. It also returns the number of Solve calls
-// it issued (for win accounting).
-func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool, limit int) ([][]bool, bool, int) {
+// it issued (for win accounting) and, when a context or budget bound cut
+// the enumeration short, the stop reason (the candidate list is then a
+// valid but possibly incomplete prefix, reported inexact).
+func enumerate(ctx context.Context, s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool, limit int) ([][]bool, bool, int, StopReason) {
 	candidates := [][]bool{append([]bool(nil), first...)}
 	solves := 0
 	block := func(k []bool) bool {
@@ -269,24 +377,30 @@ func enumerate(s *sat.Solver, e *encode.Encoder, keyLits []cnf.Lit, first []bool
 		return s.AddClause(clause...)
 	}
 	if !block(first) {
-		return candidates, true, solves
+		return candidates, true, solves, StopNone
 	}
 	for len(candidates) < limit {
 		solves++
-		st := s.Solve()
+		st := s.SolveCtx(ctx)
+		if st == sat.Unknown {
+			return candidates, false, solves, ctxStopReason(ctx)
+		}
 		if st != sat.Sat {
-			return candidates, st == sat.Unsat, solves
+			return candidates, st == sat.Unsat, solves, StopNone
 		}
 		k := e.ModelBits(keyLits)
 		candidates = append(candidates, k)
 		if !block(k) {
-			return candidates, true, solves
+			return candidates, true, solves, StopNone
 		}
 	}
 	// Limit reached; check whether anything remains.
 	solves++
-	st := s.Solve()
-	return candidates, st == sat.Unsat, solves
+	st := s.SolveCtx(ctx)
+	if st == sat.Unknown {
+		return candidates, false, solves, ctxStopReason(ctx)
+	}
+	return candidates, st == sat.Unsat, solves, StopNone
 }
 
 func bitString(bs []bool) string {

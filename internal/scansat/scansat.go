@@ -12,6 +12,7 @@
 package scansat
 
 import (
+	"context"
 	"fmt"
 
 	"dynunlock/internal/core"
@@ -30,6 +31,10 @@ type Result struct {
 	Iterations int
 	// Converged reports miter-UNSAT convergence.
 	Converged bool
+	// Stopped and StopReason report a deadline/cancellation/budget bound
+	// (see core.Result); the candidate set is then possibly incomplete.
+	Stopped    bool
+	StopReason core.StopReason
 }
 
 // Options tunes the attack.
@@ -40,12 +45,19 @@ type Options struct {
 	TestKey []bool
 }
 
-// Attack runs ScanSAT against a statically locked chip.
+// Attack runs ScanSAT against a statically locked chip. Attack is
+// AttackCtx under context.Background().
 func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+	return AttackCtx(context.Background(), chip, opts)
+}
+
+// AttackCtx is Attack with cancellation and tracing, with the partial-result
+// semantics of core.AttackCtx.
+func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, error) {
 	if p := chip.Design().Config.Policy; p != scan.Static {
 		return nil, fmt.Errorf("scansat: design uses %v; ScanSAT handles static scan locking only (use DynUnlock)", p)
 	}
-	res, err := core.Attack(chip, core.Options{
+	res, err := core.AttackCtx(ctx, chip, core.Options{
 		EnumerateLimit: opts.EnumerateLimit,
 		TestKey:        opts.TestKey,
 	})
@@ -57,5 +69,7 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 		Exact:         res.Exact,
 		Iterations:    res.Iterations,
 		Converged:     res.Converged,
+		Stopped:       res.Stopped,
+		StopReason:    res.StopReason,
 	}, nil
 }
