@@ -12,6 +12,13 @@
 // next solver check point and the partial result is reported (exit 0) with
 // its stop reason. -trace streams span/progress/result events as JSON lines
 // (see internal/trace.JSONLSink for the schema).
+//
+// -metrics-addr serves live Prometheus metrics at /metrics, an expvar-style
+// JSON snapshot at /debug/vars, and pprof profiles at /debug/pprof/ while
+// the attack runs. -progress[=interval] prints a one-line status snapshot
+// to stderr (and, with -trace, emits the same as "snapshot" events).
+// Neither flag changes attack behavior: with both unset the run is
+// bit-identical to an uninstrumented one.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"dynunlock"
 	"dynunlock/internal/bench"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/report"
 	"dynunlock/internal/trace"
 )
@@ -44,7 +52,11 @@ func main() {
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		verbose   = flag.Bool("v", false, "log attack progress")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		progress    metrics.ProgressFlag
 	)
+	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (optionally -progress=500ms)")
 	flag.Parse()
 
 	if *list {
@@ -107,6 +119,28 @@ func main() {
 		sinks = append(sinks, trace.NewJSONLSink(f))
 	}
 	ctx = trace.With(ctx, trace.Multi(sinks...))
+
+	// Metrics are opt-in: without -metrics-addr or -progress no registry is
+	// installed and the attack runs the uninstrumented path.
+	var reg *metrics.Registry
+	if *metricsAddr != "" || progress.Interval > 0 {
+		reg = metrics.NewRegistry()
+		ctx = metrics.With(ctx, reg)
+		ctx = metrics.WithLabels(ctx, "benchmark", cfg.Benchmark)
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dynunlock: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if progress.Interval > 0 {
+		p := metrics.NewProgress(reg, progress.Interval, os.Stderr, trace.From(ctx))
+		p.Start()
+		defer p.Stop()
+	}
 
 	res, err := dynunlock.RunExperimentCtx(ctx, cfg)
 	if err != nil {

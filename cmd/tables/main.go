@@ -32,6 +32,7 @@ import (
 	"dynunlock"
 	"dynunlock/internal/bench"
 	"dynunlock/internal/core"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/report"
 	"dynunlock/internal/scansat"
@@ -51,7 +52,11 @@ func main() {
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		v         = flag.Bool("v", false, "log per-trial progress to stderr")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
+		progress    metrics.ProgressFlag
 	)
+	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (optionally -progress=500ms)")
 	flag.Parse()
 	var logw io.Writer
 	if *v {
@@ -79,6 +84,27 @@ func main() {
 		}
 		defer f.Close()
 		ctx = trace.With(ctx, trace.NewJSONLSink(f))
+	}
+
+	// Metrics are opt-in; the sweep closures add a per-benchmark label so
+	// every downstream series is tagged with its table condition.
+	var reg *metrics.Registry
+	if *metricsAddr != "" || progress.Interval > 0 {
+		reg = metrics.NewRegistry()
+		ctx = metrics.With(ctx, reg)
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tables: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if progress.Interval > 0 {
+		p := metrics.NewProgress(reg, progress.Interval, os.Stderr, trace.From(ctx))
+		p.Start()
+		defer p.Stop()
 	}
 
 	start := time.Now()
@@ -260,6 +286,7 @@ func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) 
 		elapsed      time.Duration
 	}
 	rows, err := bench.SweepCtx(ctx, workers, conds, func(ctx context.Context, i int, c cond) (row, error) {
+		ctx = metrics.WithLabels(ctx, "benchmark", "s5378", "policy", policyName(c.policy))
 		condStart := time.Now()
 		// Key width scales with the circuit so the mask rank can cover the
 		// key space (the paper's regime: k <= 2n).
@@ -318,6 +345,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 		elapsed time.Duration
 	}
 	outs, err := bench.SweepCtx(ctx, workers, bench.Table2, func(ctx context.Context, i int, e bench.Entry) (outcome, error) {
+		ctx = metrics.WithLabels(ctx, "benchmark", e.Name)
 		condStart := time.Now()
 		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
 			Benchmark:     e.Name,
@@ -375,6 +403,7 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 		elapsed time.Duration
 	}
 	outs, err := bench.SweepCtx(ctx, workers, conds, func(ctx context.Context, i int, c cond) (outcome, error) {
+		ctx = metrics.WithLabels(ctx, "benchmark", c.name)
 		condStart := time.Now()
 		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
 			Benchmark:     c.name,

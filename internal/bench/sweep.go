@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"dynunlock/internal/metrics"
 )
 
 // Sweep runs fn over every item on a fixed-size worker pool and returns the
@@ -38,12 +40,29 @@ func SweepCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ctx
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Live sweep accounting; all instruments are nil (no-op) without a
+	// registry on ctx.
+	mh := metrics.From(ctx)
+	inflight := mh.Gauge(metrics.MetricSweepInflight)
+	okItems := mh.Counter(metrics.MetricSweepItems, "status", "ok")
+	errItems := mh.Counter(metrics.MetricSweepItems, "status", "error")
+	run := func(ctx context.Context, i int, it T) (R, error) {
+		inflight.Add(1)
+		r, err := fn(ctx, i, it)
+		inflight.Add(-1)
+		if err != nil {
+			errItems.Inc()
+		} else {
+			okItems.Inc()
+		}
+		return r, err
+	}
 	if workers == 1 {
 		for i, it := range items {
 			if err := ctx.Err(); err != nil {
 				return out, fmt.Errorf("item %d: %w", i, err)
 			}
-			r, err := fn(ctx, i, it)
+			r, err := run(ctx, i, it)
 			if err != nil {
 				return out, err
 			}
@@ -84,7 +103,7 @@ func SweepCtx[T, R any](ctx context.Context, workers int, items []T, fn func(ctx
 					record(i, fmt.Errorf("item %d: %w", i, err))
 					return
 				}
-				r, err := fn(ctx, i, items[i])
+				r, err := run(ctx, i, items[i])
 				if err != nil {
 					record(i, err)
 					return

@@ -8,6 +8,7 @@ import (
 
 	"dynunlock/internal/gf2"
 	"dynunlock/internal/lock"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/sat"
 	"dynunlock/internal/satattack"
@@ -154,11 +155,17 @@ func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, e
 
 	// Tester-time accounting: every scan session reports its cycle cost.
 	// The previous hook is chained and restored so nested attacks compose.
+	// The metrics instruments are nil (no-op) without a registry on ctx.
+	mh := metrics.From(ctx)
+	sessCtr := mh.Counter(metrics.MetricOracleSessions)
+	cycleCtr := mh.Counter(metrics.MetricOracleCycles)
 	var oracleSessions, oracleCycles uint64
 	prevHook := chip.SessionHook
 	chip.SessionHook = func(cycles uint64) {
 		oracleSessions++
 		oracleCycles += cycles
+		sessCtr.Inc()
+		cycleCtr.Add(cycles)
 		if prevHook != nil {
 			prevHook(cycles)
 		}

@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dynunlock/internal/trace"
+)
+
+// DefaultProgressInterval is the snapshot cadence selected by a bare
+// -progress flag.
+const DefaultProgressInterval = 2 * time.Second
+
+// Progress periodically renders a one-line snapshot of the registry —
+// DIP iterations, conflict and propagation rates, learnt-clause DB size,
+// oracle scan cycles, RSS — to a writer (normally stderr) and emits the
+// same snapshot as a "snapshot" trace event, so a JSONL trace artifact
+// captures both stage spans and a time series of the run.
+type Progress struct {
+	reg      *Registry
+	w        io.Writer
+	tr       *trace.Tracer
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	mu       sync.Mutex
+	started  bool
+	lastT    time.Time
+	lastConf float64
+	lastProp float64
+}
+
+// NewProgress builds a reporter over reg, emitting every interval to w
+// (nil w discards the text line) and to tr (the nil tracer discards the
+// snapshot events). Call Start to begin and Stop to end; Stop emits one
+// final snapshot so short runs still record at least one sample.
+func NewProgress(reg *Registry, interval time.Duration, w io.Writer, tr *trace.Tracer) *Progress {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	if w == nil {
+		w = io.Discard
+	}
+	return &Progress{
+		reg:      reg,
+		w:        w,
+		tr:       tr,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the reporting goroutine. Nil-safe; starting twice is a
+// no-op.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.lastT = time.Now()
+	p.mu.Unlock()
+	go p.run()
+}
+
+// Stop halts the reporter, emitting one final snapshot. Nil-safe;
+// stopping an unstarted or already-stopped reporter is a no-op.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	started := p.started
+	p.started = false
+	p.mu.Unlock()
+	if !started {
+		return
+	}
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Progress) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.emit()
+		case <-p.stop:
+			p.emit()
+			return
+		}
+	}
+}
+
+// emit renders one snapshot line and trace event.
+func (p *Progress) emit() {
+	now := time.Now()
+	sum := func(name string) float64 { v, _ := p.reg.Sum(name); return v }
+	iters := sum(MetricAttackDIPs)
+	conflicts := sum(MetricSatConflicts)
+	props := sum(MetricSatPropagations)
+	learntDB := sum(MetricSatLearntDB)
+	cycles := sum(MetricOracleCycles)
+	rss := ReadRSS()
+
+	p.mu.Lock()
+	dt := now.Sub(p.lastT).Seconds()
+	var confRate, propRate float64
+	if dt > 0 {
+		confRate = (conflicts - p.lastConf) / dt
+		propRate = (props - p.lastProp) / dt
+	}
+	p.lastT, p.lastConf, p.lastProp = now, conflicts, props
+	p.mu.Unlock()
+
+	fmt.Fprintf(p.w, "progress: iters=%.0f conflicts=%s (%s/s) props=%s (%s/s) learnt=%.0f cycles=%s rss=%s\n",
+		iters, humanCount(conflicts), humanCount(confRate),
+		humanCount(props), humanCount(propRate),
+		learntDB, humanCount(cycles), humanBytes(rss))
+	p.tr.Emit(trace.Event{Type: "snapshot", Fields: map[string]any{
+		"iterations":      iters,
+		"conflicts":       conflicts,
+		"conflicts_per_s": confRate,
+		"propagations":    props,
+		"props_per_s":     propRate,
+		"learnt_db":       learntDB,
+		"oracle_cycles":   cycles,
+		"rss_bytes":       rss,
+	}})
+}
+
+// humanCount renders a count compactly (1234 -> "1.2k").
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return strconv.FormatFloat(v/1e9, 'f', 1, 64) + "G"
+	case v >= 1e6:
+		return strconv.FormatFloat(v/1e6, 'f', 1, 64) + "M"
+	case v >= 1e3:
+		return strconv.FormatFloat(v/1e3, 'f', 1, 64) + "k"
+	default:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+}
+
+// humanBytes renders a byte count in binary units.
+func humanBytes(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return strconv.FormatFloat(float64(v)/(1<<30), 'f', 1, 64) + "GiB"
+	case v >= 1<<20:
+		return strconv.FormatFloat(float64(v)/(1<<20), 'f', 1, 64) + "MiB"
+	case v >= 1<<10:
+		return strconv.FormatFloat(float64(v)/(1<<10), 'f', 1, 64) + "KiB"
+	default:
+		return strconv.FormatUint(v, 10) + "B"
+	}
+}
+
+// ReadRSS returns the process resident set size in bytes, read from
+// /proc/self/statm where available (Linux) and falling back to the Go
+// runtime's OS-reserved memory elsewhere.
+func ReadRSS() uint64 {
+	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(b))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+				return pages * uint64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Sys
+}
+
+// ProgressFlag is a flag.Value for -progress[=interval]: a bare -progress
+// selects DefaultProgressInterval; -progress=5s selects 5 seconds;
+// -progress=false disables. The zero value means "not requested".
+type ProgressFlag struct {
+	Interval time.Duration
+}
+
+// String implements flag.Value.
+func (f *ProgressFlag) String() string {
+	if f == nil || f.Interval <= 0 {
+		return ""
+	}
+	return f.Interval.String()
+}
+
+// Set implements flag.Value.
+func (f *ProgressFlag) Set(s string) error {
+	switch s {
+	case "", "true":
+		f.Interval = DefaultProgressInterval
+		return nil
+	case "false":
+		f.Interval = 0
+		return nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("-progress wants a duration (e.g. 5s): %w", err)
+	}
+	if d <= 0 {
+		return fmt.Errorf("-progress interval must be positive")
+	}
+	f.Interval = d
+	return nil
+}
+
+// IsBoolFlag marks the flag as usable without a value (flag package
+// contract for -progress with no argument).
+func (f *ProgressFlag) IsBoolFlag() bool { return true }

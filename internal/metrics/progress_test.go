@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"dynunlock/internal/trace"
+)
+
+func TestProgressEmitsLineAndSnapshotEvent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricAttackDIPs).Add(3)
+	r.Counter(MetricSatConflicts).Add(1000)
+	r.Counter(MetricSatPropagations).Add(50000)
+	r.Gauge(MetricSatLearntDB).Set(77)
+	r.Counter(MetricOracleCycles).Add(4242)
+
+	var buf bytes.Buffer
+	col := trace.NewCollector()
+	p := NewProgress(r, time.Hour, &buf, trace.New(col))
+	p.Start()
+	p.Stop() // Stop emits a final snapshot even before the first tick.
+	p.Stop() // idempotent
+
+	line := buf.String()
+	for _, want := range []string{"progress:", "iters=3", "conflicts=1.0k", "learnt=77", "cycles=4.2k", "rss="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %q", want, line)
+		}
+	}
+	evs := col.Events()
+	if len(evs) != 1 || evs[0].Type != "snapshot" {
+		t.Fatalf("want one snapshot event, got %+v", evs)
+	}
+	f := evs[0].Fields
+	if f["iterations"].(float64) != 3 || f["conflicts"].(float64) != 1000 {
+		t.Fatalf("snapshot fields wrong: %v", f)
+	}
+	if f["rss_bytes"].(uint64) == 0 {
+		t.Fatal("snapshot must sample RSS")
+	}
+}
+
+func TestProgressTicks(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	p := NewProgress(r, 10*time.Millisecond, &buf, nil)
+	p.Start()
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+	if n := strings.Count(buf.String(), "progress:"); n < 2 {
+		t.Fatalf("want >= 2 ticks, got %d: %q", n, buf.String())
+	}
+}
+
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.Start()
+	p.Stop()
+	// A reporter over a nil registry and nil tracer still runs.
+	q := NewProgress(nil, time.Hour, nil, nil)
+	q.Start()
+	q.Stop()
+}
+
+func TestProgressFlag(t *testing.T) {
+	var f ProgressFlag
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.Var(&f, "progress", "")
+	if err := fs.Parse([]string{"-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Interval != DefaultProgressInterval {
+		t.Fatalf("bare -progress interval = %v", f.Interval)
+	}
+	f = ProgressFlag{}
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.Var(&f, "progress", "")
+	if err := fs.Parse([]string{"-progress=250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Interval != 250*time.Millisecond {
+		t.Fatalf("-progress=250ms interval = %v", f.Interval)
+	}
+	if err := f.Set("nonsense"); err == nil {
+		t.Fatal("want error for bad duration")
+	}
+	if !f.IsBoolFlag() {
+		t.Fatal("must be a bool flag")
+	}
+}
+
+func TestReadRSS(t *testing.T) {
+	if ReadRSS() == 0 {
+		t.Fatal("RSS must be nonzero")
+	}
+}
+
+func TestHumanFormats(t *testing.T) {
+	if got := humanCount(1234567); got != "1.2M" {
+		t.Fatalf("humanCount = %q", got)
+	}
+	if got := humanBytes(3 << 20); got != "3.0MiB" {
+		t.Fatalf("humanBytes = %q", got)
+	}
+}

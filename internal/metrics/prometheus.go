@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by
+// label set, `# HELP`/`# TYPE` headers, cumulative `_bucket`/`_sum`/
+// `_count` series for histograms. Values are a point-in-time atomic read
+// per series; a scrape during a run observes the live counters.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		help := f.help
+		f.mu.Unlock()
+		if help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range f.sortedChildren() {
+			switch f.kind {
+			case KindCounter:
+				writeSeries(bw, name, c.key, "", strconv.FormatUint(c.ctr.Value(), 10))
+			case KindGauge:
+				writeSeries(bw, name, c.key, "", formatFloat(c.gauge.Value()))
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range f.bounds {
+					cum += c.hist.buckets[i].Load()
+					writeSeries(bw, name+"_bucket", c.key, `le="`+formatFloat(bound)+`"`,
+						strconv.FormatUint(cum, 10))
+				}
+				cum += c.hist.buckets[len(f.bounds)].Load()
+				writeSeries(bw, name+"_bucket", c.key, `le="+Inf"`, strconv.FormatUint(cum, 10))
+				writeSeries(bw, name+"_sum", c.key, "", formatFloat(c.hist.Sum()))
+				writeSeries(bw, name+"_count", c.key, "", strconv.FormatUint(c.hist.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries writes one `name{labels,extra} value` line; labels and
+// extra may each be empty.
+func writeSeries(bw *bufio.Writer, name, labels, extra, value string) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float at full precision in Go's shortest 'g'
+// form: small integral values stay plain ("3"), very large or small
+// magnitudes use exponent notation ("9.9e+07"), both of which the
+// Prometheus text format accepts.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusHandler serves the registry in text exposition format.
+func PrometheusHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Server exposes a registry over HTTP on its own mux (never the default
+// mux, so tests and embedding processes can run several servers):
+//
+//	/metrics       Prometheus text exposition (PrometheusHandler)
+//	/debug/vars    expvar-style JSON: {"cmdline", "memstats", "dynunlock"}
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//
+// Each scrape of /metrics or /debug/vars first refreshes the process
+// gauges (RSS, heap, goroutines) so they are sampled lazily instead of by
+// a background poller.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. ":9090", "127.0.0.1:0") and
+// returns once the listener is bound; requests are served on a background
+// goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("metrics: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: r, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.refreshProcessGauges()
+		PrometheusHandler(r).ServeHTTP(w, req)
+	}))
+	mux.HandleFunc("/debug/vars", s.serveVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// refreshProcessGauges samples process-level runtime state into the
+// registry so scrapes always carry fresh values.
+func (s *Server) refreshProcessGauges() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge(MetricProcessHeap).Set(float64(ms.HeapAlloc))
+	s.reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricProcessRSS).Set(float64(ReadRSS()))
+}
+
+// serveVars renders the expvar-compatible JSON document. It mirrors the
+// stdlib expvar handler's layout (cmdline, memstats) and adds the
+// registry snapshot under "dynunlock", but serves from this server's own
+// registry instead of the process-global expvar map, so multiple
+// registries never collide.
+func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
+	s.refreshProcessGauges()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	doc := map[string]any{
+		"cmdline":   os.Args,
+		"memstats":  ms,
+		"dynunlock": s.reg.Snapshot(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

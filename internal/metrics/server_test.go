@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricAttackDIPs, "engine", "sequential").Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// /metrics parses and carries the registered and process series.
+	text := string(get(t, base+"/metrics"))
+	names := parseProm(t, text)
+	for _, want := range []string{MetricAttackDIPs, MetricProcessRSS, MetricGoroutines} {
+		if !names[want] {
+			t.Errorf("/metrics missing %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, MetricAttackDIPs+`{engine="sequential"} 9`) {
+		t.Errorf("/metrics sample wrong:\n%s", text)
+	}
+
+	// /debug/vars is JSON with cmdline, memstats, and the snapshot.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, base+"/debug/vars"), &doc); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	for _, key := range []string{"cmdline", "memstats", "dynunlock"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(doc["dynunlock"], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap[MetricAttackDIPs+`{engine="sequential"}`]; !ok || v.(float64) != 9 {
+		t.Errorf("snapshot series wrong: %v", snap)
+	}
+
+	// /debug/pprof/ serves the index.
+	if body := string(get(t, base+"/debug/pprof/")); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+
+	// A second scrape while counters moved observes the new value (the
+	// live-update property CI asserts end to end).
+	r.Counter(MetricAttackDIPs, "engine", "sequential").Add(1)
+	if text := string(get(t, base+"/metrics")); !strings.Contains(text, `{engine="sequential"} 10`) {
+		t.Errorf("scrape did not observe live update:\n%s", text)
+	}
+}

@@ -319,4 +319,65 @@ func TestStatsAndPanics(t *testing.T) {
 	}
 }
 
+// TestSessionHookCycleAccounting pins the contract the metrics layer
+// builds on: across single- and multi-capture sessions, the cycle counts
+// delivered to SessionHook sum exactly to the Stats.Cycles delta — no
+// cycle is double-counted or missed, resets included.
+func TestSessionHookCycleAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const ffs, keyBits = 10, 6
+	d := lockedDesign(t, ffs, keyBits, scan.PerCycle, 5)
+	chip, err := New(d, randSeed(rng, keyBits), randBools(rng, keyBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookSessions int
+	var hookCycles uint64
+	chip.SessionHook = func(cycles uint64) {
+		if cycles == 0 {
+			t.Error("hook delivered a zero-cycle session")
+		}
+		hookSessions++
+		hookCycles += cycles
+	}
+
+	tk := randBools(rng, keyBits)
+	before := chip.Stats
+	// Mixed workload: plain sessions and multi-capture sessions of varying
+	// depth, with resets in between (reset cycles are not session cycles).
+	for i, captures := range []int{1, 2, 5, 1, 3} {
+		if i%2 == 0 {
+			chip.Reset()
+		}
+		cyclesBefore := chip.Stats.Cycles
+		hookBefore := hookCycles
+		if captures == 1 {
+			chip.Session(tk, randBools(rng, ffs), randBools(rng, 5))
+		} else {
+			pis := make([][]bool, captures)
+			for j := range pis {
+				pis[j] = randBools(rng, 5)
+			}
+			chip.SessionN(tk, randBools(rng, ffs), pis)
+		}
+		// Per-session: the hook argument is exactly this session's delta.
+		if got, want := hookCycles-hookBefore, chip.Stats.Cycles-cyclesBefore; got != want {
+			t.Fatalf("session %d (captures=%d): hook reported %d cycles, Stats delta %d",
+				i, captures, got, want)
+		}
+	}
+	if hookSessions != 5 || chip.Stats.Sessions-before.Sessions != 5 {
+		t.Fatalf("hook fired %d times, Stats sessions %d, want 5 each",
+			hookSessions, chip.Stats.Sessions-before.Sessions)
+	}
+	if hookCycles != chip.Stats.Cycles-before.Cycles {
+		t.Fatalf("hook total %d cycles, Stats delta %d", hookCycles, chip.Stats.Cycles-before.Cycles)
+	}
+	// Deeper sessions shift more cycles: a 5-capture session costs more
+	// than a single-capture one, and the hook must reflect that.
+	if hookCycles <= 5*uint64(ffs) {
+		t.Fatalf("implausibly few cycles %d for %d scan flops", hookCycles, ffs)
+	}
+}
+
 var _ = netlist.New // silence potential unused import in future edits

@@ -68,3 +68,33 @@ func TestStageTableAggregates(t *testing.T) {
 		t.Fatalf("empty counters not dashed:\n%s", out)
 	}
 }
+
+func TestStageTableFoldsUnknownIntoOther(t *testing.T) {
+	spans := []trace.SpanRecord{
+		{Name: "warmup", Duration: time.Millisecond, Counters: map[string]uint64{"items": 2}},
+		{Name: "encode", Duration: 2 * time.Millisecond},
+		{Name: "custom_pass", Duration: 3 * time.Millisecond, Counters: map[string]uint64{"items": 5}},
+		{Name: "verify", Duration: time.Millisecond},
+	}
+	out := StageTable("Stages", spans).String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Known stages keep first-seen order; unknown names merge into one
+	// trailing "other" row instead of being listed (or lost) individually.
+	if !strings.HasPrefix(lines[3], "encode") || !strings.HasPrefix(lines[4], "verify") {
+		t.Fatalf("known stage order wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[5], "other") {
+		t.Fatalf("missing trailing other row:\n%s", out)
+	}
+	if strings.Contains(out, "warmup") || strings.Contains(out, "custom_pass") {
+		t.Fatalf("unknown span names leaked as rows:\n%s", out)
+	}
+	// Both unknown spans aggregate: 2 calls, 4ms, items=7.
+	if !strings.Contains(lines[5], "2") || !strings.Contains(lines[5], "4") || !strings.Contains(lines[5], "items=7") {
+		t.Fatalf("other row not aggregated:\n%s", out)
+	}
+	// A trace of only known stages has no other row.
+	if out := StageTable("S", spans[1:2]).String(); strings.Contains(out, "other") {
+		t.Fatalf("spurious other row:\n%s", out)
+	}
+}

@@ -9,9 +9,17 @@ import (
 	"dynunlock/internal/trace"
 )
 
+// FigStages lists the span names of the paper's Fig. 3 attack stages, in
+// pipeline order. StageTable keys on this set: these names get their own
+// rows, anything else folds into "other".
+var FigStages = []string{"unroll", "encode", "dip_loop", "extract", "enumerate", "refine", "verify"}
+
 // StageTable aggregates trace span records into a per-stage timing table:
-// one row per distinct span name in first-seen order, summing durations and
-// counters across repeated spans (e.g. one span per trial). This is how the
+// one row per distinct Fig. 3 stage name in first-seen order, summing
+// durations and counters across repeated spans (e.g. one span per trial).
+// Spans with names outside FigStages — custom instrumentation, future
+// stages — are not dropped: they aggregate into a trailing "other" row so
+// the table always accounts for every span it was given. This is how the
 // CLIs turn a trace collector into the Fig. 3 stage breakdown.
 func StageTable(title string, spans []trace.SpanRecord) *Table {
 	type agg struct {
@@ -19,20 +27,33 @@ func StageTable(title string, spans []trace.SpanRecord) *Table {
 		total    time.Duration
 		counters map[string]uint64
 	}
+	known := map[string]bool{}
+	for _, name := range FigStages {
+		known[name] = true
+	}
 	order := []string{}
 	byName := map[string]*agg{}
 	for _, sp := range spans {
-		a, ok := byName[sp.Name]
+		name := sp.Name
+		if !known[name] {
+			name = "other"
+		}
+		a, ok := byName[name]
 		if !ok {
 			a = &agg{counters: map[string]uint64{}}
-			byName[sp.Name] = a
-			order = append(order, sp.Name)
+			byName[name] = a
+			if name != "other" {
+				order = append(order, name)
+			}
 		}
 		a.calls++
 		a.total += sp.Duration
 		for k, v := range sp.Counters {
 			a.counters[k] += v
 		}
+	}
+	if _, ok := byName["other"]; ok {
+		order = append(order, "other")
 	}
 	tb := New(title, "Stage", "Calls", "Time (ms)", "Counters")
 	for _, name := range order {

@@ -1,0 +1,100 @@
+package sat
+
+import "testing"
+
+func TestHookSampleTotalsMatchStats(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 7)
+	var got Stats
+	var samples int
+	var lbdObs int
+	s.SetHook(&Hook{
+		Every:       64,
+		LearntEvery: 4,
+		OnSample: func(d Stats, learntDB int) {
+			samples++
+			got.Decisions += d.Decisions
+			got.Propagations += d.Propagations
+			got.Conflicts += d.Conflicts
+			got.Restarts += d.Restarts
+			got.Learnt += d.Learnt
+			got.Removed += d.Removed
+			if learntDB < 0 {
+				t.Errorf("negative learnt DB size %d", learntDB)
+			}
+		},
+		OnLearnt: func(lbd int32, size int) {
+			lbdObs++
+			if lbd < 1 || size < 1 {
+				t.Errorf("implausible learnt sample: lbd=%d size=%d", lbd, size)
+			}
+		},
+	})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP = %v, want UNSAT", st)
+	}
+	// The end-of-Solve flush makes the sampled deltas sum to the exact
+	// totals — this is what lets published counters converge.
+	if got != s.Stats {
+		t.Fatalf("summed hook deltas = %+v, want %+v", got, s.Stats)
+	}
+	if samples < 2 {
+		t.Fatalf("want multiple samples, got %d (conflicts=%d)", samples, s.Stats.Conflicts)
+	}
+	if lbdObs == 0 {
+		t.Fatal("want sampled learnt-clause observations")
+	}
+}
+
+func TestHookTotalsAcrossIncrementalSolves(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 6)
+	var got Stats
+	s.SetHook(&Hook{OnSample: func(d Stats, _ int) {
+		got.Conflicts += d.Conflicts
+		got.Decisions += d.Decisions
+	}})
+	// Solve twice (second call returns instantly from the cached UNSAT
+	// state); totals must still line up at every boundary.
+	s.Solve()
+	s.Solve()
+	if got.Conflicts != s.Stats.Conflicts || got.Decisions != s.Stats.Decisions {
+		t.Fatalf("hook totals %+v diverge from Stats %+v", got, s.Stats)
+	}
+}
+
+// TestHookDoesNotPerturbSearch is the bit-identical guarantee behind the
+// metrics layer: the hook observes, never steers.
+func TestHookDoesNotPerturbSearch(t *testing.T) {
+	run := func(withHook bool) Stats {
+		s := New()
+		addPigeonhole(s, 7)
+		if withHook {
+			s.SetHook(&Hook{
+				Every:       32,
+				LearntEvery: 8,
+				OnSample:    func(Stats, int) {},
+				OnLearnt:    func(int32, int) {},
+			})
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP = %v, want UNSAT", st)
+		}
+		return s.Stats
+	}
+	if plain, hooked := run(false), run(true); plain != hooked {
+		t.Fatalf("hook perturbed the search: %+v vs %+v", plain, hooked)
+	}
+}
+
+func TestSetHookNilRemoves(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 5)
+	fired := false
+	s.SetHook(&Hook{OnSample: func(Stats, int) { fired = true }})
+	s.SetHook(nil)
+	s.Solve()
+	if fired {
+		t.Fatal("removed hook must not fire")
+	}
+}

@@ -127,7 +127,81 @@ type Solver struct {
 	rngState  uint64
 	interrupt atomic.Bool
 
+	hook     *Hook
+	hookMark Stats
+
 	Stats Stats
+}
+
+// Hook receives sampled telemetry from the search loop for live metrics.
+// It is strictly observational: callbacks see counter snapshots and may
+// not touch the solver. With no hook installed the search loop pays one
+// nil check per conflict; with one installed, callbacks fire only every
+// Every conflicts (plus once per Solve return), keeping the overhead far
+// below the cost of the conflicts themselves.
+type Hook struct {
+	// Every is the conflict sampling interval for OnSample (0 = 256).
+	Every uint64
+	// LearntEvery is the conflict sampling interval for OnLearnt (0 = 16).
+	LearntEvery uint64
+	// OnSample receives the counter growth since the previous sample and
+	// the current learnt-clause DB size. Also called at the end of every
+	// Solve, so totals converge exactly at solve boundaries.
+	OnSample func(delta Stats, learntDB int)
+	// OnLearnt receives the LBD and literal count of sampled learnt
+	// clauses (an LBD histogram source).
+	OnLearnt func(lbd int32, size int)
+}
+
+// SetHook installs (or, with nil, removes) the telemetry hook. The hook
+// never alters solver behavior: search trajectories with and without a
+// hook are bit-identical.
+func (s *Solver) SetHook(h *Hook) {
+	s.hook = h
+	s.hookMark = s.Stats
+}
+
+// hookConflict fires the sampled hook callbacks after a conflict has been
+// recorded. Kept out of the search loop body so the no-hook path stays a
+// single branch.
+func (s *Solver) hookConflict(lbd int32, size int) {
+	h := s.hook
+	if h.OnLearnt != nil {
+		every := h.LearntEvery
+		if every == 0 {
+			every = 16
+		}
+		if s.Stats.Conflicts%every == 0 {
+			h.OnLearnt(lbd, size)
+		}
+	}
+	if h.OnSample != nil {
+		every := h.Every
+		if every == 0 {
+			every = 256
+		}
+		if s.Stats.Conflicts%every == 0 {
+			s.flushHook()
+		}
+	}
+}
+
+// flushHook delivers the counter growth since the previous sample.
+func (s *Solver) flushHook() {
+	h := s.hook
+	if h == nil || h.OnSample == nil {
+		return
+	}
+	d := Stats{
+		Decisions:    s.Stats.Decisions - s.hookMark.Decisions,
+		Propagations: s.Stats.Propagations - s.hookMark.Propagations,
+		Conflicts:    s.Stats.Conflicts - s.hookMark.Conflicts,
+		Restarts:     s.Stats.Restarts - s.hookMark.Restarts,
+		Learnt:       s.Stats.Learnt - s.hookMark.Learnt,
+		Removed:      s.Stats.Removed - s.hookMark.Removed,
+	}
+	s.hookMark = s.Stats
+	h.OnSample(d, len(s.learnts))
 }
 
 // New returns an empty solver.
@@ -602,6 +676,9 @@ func (s *Solver) search(nofConflicts int64, assumptions []cnf.Lit) Status {
 			s.trailAvg += (float64(len(s.trail)) - s.trailAvg) / 4096
 			s.varInc /= s.varDecay
 			s.claInc /= s.claDecay
+			if s.hook != nil {
+				s.hookConflict(lbd, len(learnt))
+			}
 			continue
 		}
 
@@ -710,6 +787,11 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.maxLearnts *= s.learntGrowth
 	}
 	s.cancelUntil(0)
+	if s.hook != nil {
+		// Flush the residual sample so published totals match Stats exactly
+		// at every solve boundary, however short the solve.
+		s.flushHook()
+	}
 	return status
 }
 

@@ -26,10 +26,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"dynunlock/internal/cnf"
 	"dynunlock/internal/encode"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/sat"
 	"dynunlock/internal/trace"
 )
@@ -50,13 +52,18 @@ type portfolio struct {
 	l     *Locked
 	insts []*pfInstance
 	wins  []int
+	// winCtr mirrors wins as live per-instance counters; entries are nil
+	// (no-op) when metrics are disabled.
+	winCtr []*metrics.Counter
 }
 
-func newPortfolio(l *Locked, n int, budget int64) *portfolio {
+func newPortfolio(l *Locked, n int, budget int64, mh *metrics.Handle) *portfolio {
 	p := &portfolio{l: l, wins: make([]int, n)}
 	for i := 0; i < n; i++ {
 		s := sat.NewWithConfig(sat.Diversify(i))
 		s.ConflictBudget = budget
+		installSolverMetrics(mh, s, i)
+		p.winCtr = append(p.winCtr, mh.Counter(metrics.MetricPortfolioWins, "instance", strconv.Itoa(i)))
 		e := encode.New(s)
 		in := &pfInstance{
 			s:  s,
@@ -118,6 +125,7 @@ func (p *portfolio) race(ctx context.Context, withMiter bool) (int, sat.Status) 
 	}
 	if winner >= 0 {
 		p.wins[winner]++
+		p.winCtr[winner].Inc()
 	}
 	return winner, st
 }
@@ -172,10 +180,12 @@ func (p *portfolio) statsSum() sat.Stats {
 // same typed partial results, with every SAT call raced across instances.
 func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, error) {
 	tr := trace.From(ctx)
+	mh := metrics.From(ctx)
+	am := newAttackMetrics(mh, "portfolio")
 	start := time.Now()
 
 	enc := tr.Start("encode")
-	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget)
+	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget, mh)
 	enc.Add("instances", uint64(len(p.insts)))
 	enc.Add("vars", uint64(p.insts[0].s.NumVars()))
 	enc.Add("clauses", uint64(p.insts[0].s.NumClauses()))
@@ -215,7 +225,14 @@ dipLoop:
 			stop = StopIterations
 			break
 		}
+		var solveT0 time.Time
+		if am != nil {
+			solveT0 = time.Now()
+		}
 		winner, st := p.race(ctx, true)
+		if am != nil {
+			am.observeSolve(time.Since(solveT0))
+		}
 		switch st {
 		case sat.Unsat:
 			res.Converged = true
@@ -233,6 +250,7 @@ dipLoop:
 				endLoop()
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
+			am.observeDIP(res.Iterations)
 			p.replayDIP(dip, resp)
 			tr.Progressf("iter %d: dip=%s inst=%d clauses=%d",
 				res.Iterations, bitString(dip), winner, w.s.NumClauses())

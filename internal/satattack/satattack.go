@@ -22,6 +22,7 @@ import (
 
 	"dynunlock/internal/cnf"
 	"dynunlock/internal/encode"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/netlist"
 	"dynunlock/internal/sat"
 	"dynunlock/internal/trace"
@@ -206,11 +207,14 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 		return runPortfolio(ctx, l, o, opts)
 	}
 	tr := trace.From(ctx)
+	mh := metrics.From(ctx)
+	am := newAttackMetrics(mh, "sequential")
 	start := time.Now()
 
 	enc := tr.Start("encode")
 	s := sat.New()
 	s.ConflictBudget = opts.ConflictBudget
+	installSolverMetrics(mh, s, 0)
 	e := encode.New(s)
 
 	x := e.FreshVec(len(l.InIdx))
@@ -266,7 +270,17 @@ dipLoop:
 			break
 		}
 		solves++
-		switch st := s.SolveCtx(ctx, miter); st {
+		// The timestamp is taken only when metrics are live so the disabled
+		// path stays bit-identical and syscall-free.
+		var solveT0 time.Time
+		if am != nil {
+			solveT0 = time.Now()
+		}
+		st := s.SolveCtx(ctx, miter)
+		if am != nil {
+			am.observeSolve(time.Since(solveT0))
+		}
+		switch st {
 		case sat.Unsat:
 			res.Converged = true
 			break dipLoop
@@ -282,6 +296,7 @@ dipLoop:
 				endLoop()
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
+			am.observeDIP(res.Iterations)
 			cx := e.ConstVec(dip)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)

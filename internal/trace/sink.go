@@ -59,13 +59,13 @@ func (s *TextSink) Emit(ev Event) {
 // schema, stable for downstream tooling:
 //
 //	{
-//	  "ev":       "span_start" | "span_end" | "progress" | "result" | "experiment",
+//	  "ev":       "span_start" | "span_end" | "progress" | "snapshot" | "result" | "experiment",
 //	  "t":        RFC3339Nano wall-clock timestamp,
 //	  "span":     stage name (span events only),
 //	  "dur_ms":   span duration in milliseconds (span_end only),
 //	  "counters": {name: uint64, ...} (span_end only, omitted when empty),
 //	  "msg":      progress text (progress only),
-//	  "fields":   {name: value, ...} (result/experiment only)
+//	  "fields":   {name: value, ...} (snapshot/result/experiment only)
 //	}
 //
 // Safe for concurrent use; every event is written as one atomic line.

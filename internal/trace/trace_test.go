@@ -162,3 +162,54 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Fatalf("spans = %+v", spans)
 	}
 }
+
+// TestConcurrentSpanEmissionJSONL is the regression test for the JSONL
+// sink under portfolio-style concurrency: many goroutines each opening,
+// annotating, and closing their own spans against one shared sink. Run
+// under -race (CI does) it catches any lost synchronization; the JSON
+// decode below catches interleaved partial lines.
+func TestConcurrentSpanEmissionJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewCollector()
+	tr := New(Multi(NewJSONLSink(&buf), col))
+	const goroutines, spansPer = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := tr.Start("dip_loop")
+				sp.Add("conflicts", uint64(g))
+				tr.Progressf("worker %d iter %d", g, i)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(col.Spans()); got != goroutines*spansPer {
+		t.Fatalf("collector saw %d spans, want %d", got, goroutines*spansPer)
+	}
+	// Every line must be a complete, standalone JSON object: torn writes
+	// from unsynchronized goroutines would corrupt the stream.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	wantLines := goroutines * spansPer * 3 // span_start + progress + span_end
+	if len(lines) != wantLines {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), wantLines)
+	}
+	counts := map[string]int{}
+	for i, line := range lines {
+		var ev struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON (%v): %q", i, err, line)
+		}
+		counts[ev.Ev]++
+	}
+	for _, typ := range []string{"span_start", "span_end", "progress"} {
+		if counts[typ] != goroutines*spansPer {
+			t.Fatalf("event counts %v, want %d of each", counts, goroutines*spansPer)
+		}
+	}
+}
