@@ -28,9 +28,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"dynunlock"
 	"dynunlock/internal/bench"
+	"dynunlock/internal/flight"
 	"dynunlock/internal/metrics"
 	"dynunlock/internal/report"
 	"dynunlock/internal/trace"
@@ -50,6 +52,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = unlimited)")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
+		recordDir = flag.String("record", "", "write a flight-recorder bundle (manifest, oracle/DIP transcripts, trace, metrics, result) to this directory")
 		verbose   = flag.Bool("v", false, "log attack progress")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 
@@ -118,12 +121,24 @@ func main() {
 		defer f.Close()
 		sinks = append(sinks, trace.NewJSONLSink(f))
 	}
+	var rec *flight.Recorder
+	if *recordDir != "" {
+		var err error
+		rec, err = flight.Create(*recordDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rec.Tool = "dynunlock"
+		cfg.Recorder = rec
+		sinks = append(sinks, rec.TraceSink())
+	}
 	ctx = trace.With(ctx, trace.Multi(sinks...))
 
-	// Metrics are opt-in: without -metrics-addr or -progress no registry is
-	// installed and the attack runs the uninstrumented path.
+	// Metrics are opt-in: without -metrics-addr, -progress, or -record no
+	// registry is installed and the attack runs the uninstrumented path.
+	// Recording forces a registry so the bundle's metrics.json is populated.
 	var reg *metrics.Registry
-	if *metricsAddr != "" || progress.Interval > 0 {
+	if *metricsAddr != "" || progress.Interval > 0 || rec != nil {
 		reg = metrics.NewRegistry()
 		ctx = metrics.With(ctx, reg)
 		ctx = metrics.WithLabels(ctx, "benchmark", cfg.Benchmark)
@@ -133,7 +148,9 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes on exit so a Prometheus poll racing the
+		// end of the run still gets its sample.
+		defer srv.Shutdown(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "dynunlock: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 	if progress.Interval > 0 {
@@ -145,6 +162,15 @@ func main() {
 	res, err := dynunlock.RunExperimentCtx(ctx, cfg)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if rec != nil {
+		if err := rec.WriteMetrics(reg); err != nil {
+			fatalf("%v", err)
+		}
+		if err := rec.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "dynunlock: recorded bundle to %s\n", rec.Dir())
 	}
 	tb := report.New(
 		fmt.Sprintf("DynUnlock on %s (%d scan flops, %d-bit key, %v, %d trial(s), %s mode)",

@@ -1,0 +1,305 @@
+// Command runs inspects, validates, replays, and compares flight-recorder
+// bundles (see internal/flight).
+//
+// Usage:
+//
+//	runs show <bundle>                  print a bundle summary and stage table
+//	runs validate <bundle>              check the bundle files and manifest schema
+//	runs replay <bundle>                re-run the attack from the transcript; exit 1 on divergence
+//	runs diff <bundleA> <bundleB>       cross-run comparison of two bundles
+//	runs bench [-out FILE] <bundle>...  append normalized rows to BENCH_attack.json
+//	runs baseline [-bench FILE] <bundle>  compare a bundle to its ledger baseline row
+//
+// replay is the post-mortem tool: it rebuilds the locked design from the
+// manifest, serves every oracle query from oracle.jsonl (no chip
+// simulation), and compares the re-derived result to result.json. For
+// sequentially recorded bundles the comparison is exact — any diff means
+// the attack code changed behavior since the recording.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynunlock/internal/flight"
+	"dynunlock/internal/report"
+	"dynunlock/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "show":
+		cmdShow(args)
+	case "validate":
+		cmdValidate(args)
+	case "replay":
+		cmdReplay(args)
+	case "diff":
+		cmdDiff(args)
+	case "bench":
+		cmdBench(args)
+	case "baseline":
+		cmdBaseline(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: runs <command> [args]
+
+  show <bundle>                   print a bundle summary
+  validate <bundle>               validate bundle files and manifest schema
+  replay <bundle>                 replay the attack offline; exit 1 on divergence
+  diff <bundleA> <bundleB>        compare two bundles
+  bench [-out FILE] <bundle>...   append normalized rows to a benchmark ledger
+  baseline [-bench FILE] <bundle> compare a bundle to its ledger baseline`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "runs: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func open(dir string) *flight.Bundle {
+	b, err := flight.Open(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return b
+}
+
+func cmdShow(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	b := open(args[0])
+	m := &b.Manifest
+	fmt.Printf("bundle      %s\n", b.Dir)
+	fmt.Printf("recorded    %s by %s (%s %s/%s, %d CPU, host %s)\n",
+		m.CreatedAt, orDash(m.Tool), m.Fingerprint.GoVersion,
+		m.Fingerprint.GOOS, m.Fingerprint.GOARCH, m.Fingerprint.NumCPU, orDash(m.Fingerprint.Host))
+	if m.Fingerprint.GitCommit != "" {
+		fmt.Printf("commit      %s\n", m.Fingerprint.GitCommit)
+	}
+	fmt.Printf("experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d\n",
+		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase)
+	fmt.Printf("transcript  %d sessions, %d DIP iterations\n\n", len(b.Sessions), len(b.DIPs))
+
+	tb := report.New(fmt.Sprintf("Trials (%d recorded)", len(b.Result.Trials)),
+		"Trial", "Candidates", "Iterations", "Queries", "Seconds", "Conflicts", "Success")
+	for _, t := range b.Result.Trials {
+		tb.AddRow(t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries,
+			t.Seconds, t.Solver.Conflicts, t.Success)
+	}
+	tb.Render(os.Stdout)
+	if b.Result.Stopped {
+		fmt.Printf("\nstopped early: %s\n", b.Result.StopReason)
+	}
+	if spans, err := flight.ReadTrace(b.Dir); err == nil && len(spans) > 0 {
+		fmt.Println()
+		report.StageTable("Per-stage timing (summed over trials)", spans).Render(os.Stdout)
+	}
+}
+
+func cmdValidate(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	b := open(args[0]) // Open validates the manifest and parses every line
+	if _, err := b.Design(); err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := flight.ReadTrace(b.Dir); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("runs: %s ok: %d trial(s), %d session(s), %d DIP(s)\n",
+		args[0], len(b.Result.Trials), len(b.Sessions), len(b.DIPs))
+}
+
+func cmdReplay(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	b := open(args[0])
+	start := time.Now()
+	replayed, err := b.Replay(context.Background())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diffs := flight.Compare(&b.Result, replayed)
+	tb := report.New(fmt.Sprintf("Replay of %s (%d trial(s), %.2fs offline)",
+		b.Dir, len(replayed.Trials), time.Since(start).Seconds()),
+		"Trial", "Candidates", "Iterations", "Queries", "Match")
+	for i, t := range replayed.Trials {
+		match := i < len(b.Result.Trials) &&
+			len(flight.Compare(
+				&flight.ResultDoc{Trials: b.Result.Trials[i : i+1]},
+				&flight.ResultDoc{Trials: replayed.Trials[i : i+1]})) == 0
+		tb.AddRow(t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries, match)
+	}
+	tb.Render(os.Stdout)
+	if len(diffs) > 0 {
+		fmt.Println("\nreplay diverged from the recording:")
+		for _, d := range diffs {
+			fmt.Printf("  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nreplay is bit-identical to the recording")
+}
+
+func cmdDiff(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	a, b := open(args[0]), open(args[1])
+	ra, rb := flight.BenchRowFrom(a), flight.BenchRowFrom(b)
+
+	tb := report.New(fmt.Sprintf("Bundle diff: %s vs %s", args[0], args[1]),
+		"Metric", "A", "B", "Delta")
+	addNum := func(name string, va, vb float64) {
+		tb.AddRow(name, va, vb, vb-va)
+	}
+	tb.AddRow("benchmark", ra.Benchmark, rb.Benchmark, "")
+	tb.AddRow("config", cfgString(ra), cfgString(rb), "")
+	tb.AddRow("recorded", ra.RecordedAt, rb.RecordedAt, "")
+	tb.AddRow("commit", orDash(ra.GitCommit), orDash(rb.GitCommit), "")
+	addNum("trials", float64(ra.Trials), float64(rb.Trials))
+	addNum("avg iterations", ra.AvgIterations, rb.AvgIterations)
+	addNum("avg queries", ra.AvgQueries, rb.AvgQueries)
+	addNum("avg candidates", ra.AvgCandidates, rb.AvgCandidates)
+	addNum("avg seconds", ra.AvgSeconds, rb.AvgSeconds)
+	addNum("total conflicts", float64(ra.TotalConflicts), float64(rb.TotalConflicts))
+	addNum("total propagations", float64(ra.TotalPropagations), float64(rb.TotalPropagations))
+	tb.AddRow("broken", ra.Broken, rb.Broken, "")
+	tb.Render(os.Stdout)
+
+	sa, errA := flight.ReadTrace(a.Dir)
+	sb, errB := flight.ReadTrace(b.Dir)
+	if errA == nil && errB == nil && (len(sa) > 0 || len(sb) > 0) {
+		fmt.Println()
+		stageDiffTable(sa, sb).Render(os.Stdout)
+	}
+}
+
+func cfgString(r flight.BenchRow) string {
+	return fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
+}
+
+// stageDiffTable sums span durations per stage for each bundle and lines
+// them up in report.FigStages order (unknown stages follow, in order of
+// first appearance).
+func stageDiffTable(a, b []trace.SpanRecord) *report.Table {
+	sum := func(spans []trace.SpanRecord) map[string]time.Duration {
+		m := make(map[string]time.Duration)
+		for _, s := range spans {
+			m[s.Name] += s.Duration
+		}
+		return m
+	}
+	ma, mb := sum(a), sum(b)
+	seen := map[string]bool{}
+	var order []string
+	for _, name := range report.FigStages {
+		if ma[name] > 0 || mb[name] > 0 {
+			order = append(order, name)
+			seen[name] = true
+		}
+	}
+	for _, spans := range [][]trace.SpanRecord{a, b} {
+		for _, s := range spans {
+			if !seen[s.Name] {
+				order = append(order, s.Name)
+				seen[s.Name] = true
+			}
+		}
+	}
+	tb := report.New("Per-stage timing diff (ms, summed over trials)",
+		"Stage", "A", "B", "Delta")
+	for _, name := range order {
+		va := float64(ma[name]) / float64(time.Millisecond)
+		vb := float64(mb[name]) / float64(time.Millisecond)
+		tb.AddRow(name, va, vb, vb-va)
+	}
+	return tb
+}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_attack.json", "benchmark ledger to append to")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		usage()
+	}
+	ledger, err := flight.ReadBenchFile(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, dir := range fs.Args() {
+		row := flight.BenchRowFrom(open(dir))
+		ledger.Rows = append(ledger.Rows, row)
+		fmt.Printf("runs: %s: %s %s avg_iters=%.1f avg_secs=%.3f conflicts=%d broken=%v\n",
+			*out, row.Benchmark, cfgString(row), row.AvgIterations, row.AvgSeconds,
+			row.TotalConflicts, row.Broken)
+	}
+	if err := ledger.Write(*out); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func cmdBaseline(args []string) {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	ledgerPath := fs.String("bench", "BENCH_attack.json", "benchmark ledger holding the baseline rows")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	ledger, err := flight.ReadBenchFile(*ledgerPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	row := flight.BenchRowFrom(open(fs.Arg(0)))
+	base, ok := ledger.FindRow(row)
+	if !ok {
+		fatalf("no baseline row in %s for %s %s", *ledgerPath, row.Benchmark, cfgString(row))
+	}
+	tb := report.New(fmt.Sprintf("Baseline comparison: %s %s", row.Benchmark, cfgString(row)),
+		"Metric", "Baseline", "Current", "Delta")
+	num := func(name string, vb, vc float64) { tb.AddRow(name, vb, vc, vc-vb) }
+	num("trials", float64(base.Trials), float64(row.Trials))
+	num("avg iterations", base.AvgIterations, row.AvgIterations)
+	num("avg queries", base.AvgQueries, row.AvgQueries)
+	num("avg candidates", base.AvgCandidates, row.AvgCandidates)
+	num("avg seconds", base.AvgSeconds, row.AvgSeconds)
+	num("total conflicts", float64(base.TotalConflicts), float64(row.TotalConflicts))
+	tb.AddRow("broken", base.Broken, row.Broken, "")
+	tb.Render(os.Stdout)
+	// The deterministic columns must match the baseline exactly; timing and
+	// solver-effort columns are report-only (they vary across hosts).
+	exact := base.Trials == row.Trials &&
+		base.AvgIterations == row.AvgIterations &&
+		base.AvgQueries == row.AvgQueries &&
+		base.AvgCandidates == row.AvgCandidates &&
+		base.Broken == row.Broken
+	if !exact {
+		fmt.Println("\nbaseline mismatch on deterministic columns")
+		os.Exit(1)
+	}
+	fmt.Println("\nbaseline match on deterministic columns")
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -26,12 +26,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"dynunlock"
 	"dynunlock/internal/bench"
 	"dynunlock/internal/core"
+	"dynunlock/internal/flight"
 	"dynunlock/internal/metrics"
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/report"
@@ -50,6 +52,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget shared by the whole table sweep (0 = unlimited); completed conditions are still rendered")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
+		recordDir = flag.String("record", "", "write one flight-recorder bundle per table condition under this directory (tables 2 and 3)")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		v         = flag.Bool("v", false, "log per-trial progress to stderr")
 
@@ -87,9 +90,10 @@ func main() {
 	}
 
 	// Metrics are opt-in; the sweep closures add a per-benchmark label so
-	// every downstream series is tagged with its table condition.
+	// every downstream series is tagged with its table condition. Recording
+	// forces a registry so each bundle's metrics.json is populated.
 	var reg *metrics.Registry
-	if *metricsAddr != "" || progress.Interval > 0 {
+	if *metricsAddr != "" || progress.Interval > 0 || *recordDir != "" {
 		reg = metrics.NewRegistry()
 		ctx = metrics.With(ctx, reg)
 	}
@@ -98,7 +102,9 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes on exit so a Prometheus poll racing the
+		// end of the run still gets its sample.
+		defer srv.Shutdown(2 * time.Second)
 		fmt.Fprintf(os.Stderr, "tables: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 	if progress.Interval > 0 {
@@ -107,6 +113,11 @@ func main() {
 		defer p.Stop()
 	}
 
+	if *recordDir != "" && *table == 1 {
+		// Table 1 rows are one-shot attack demos, not experiments; there is
+		// no per-trial result to bundle.
+		fmt.Fprintln(os.Stderr, "tables: -record applies to tables 2 and 3 only; ignoring for table 1")
+	}
 	start := time.Now()
 	var rows []condRow
 	var err error
@@ -114,9 +125,9 @@ func main() {
 	case 1:
 		rows, err = table1(ctx, *scale, *portfolio, workers, logw)
 	case 2:
-		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, logw)
+		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, reg, logw)
 	case 3:
-		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, logw)
+		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, reg, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
@@ -333,8 +344,35 @@ func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) 
 	return out, err
 }
 
+// recordCondition opens a per-condition flight-recorder bundle under dir,
+// attaches it to cfg, and layers the bundle's trace sink over any sink ctx
+// already carries (so -trace and -record coexist). The returned finish
+// func writes the terminal metrics snapshot and closes the bundle; call it
+// after the experiment.
+func recordCondition(ctx context.Context, dir, name string, reg *metrics.Registry, cfg *dynunlock.ExperimentConfig) (context.Context, func() error, error) {
+	rec, err := flight.Create(filepath.Join(dir, name))
+	if err != nil {
+		return ctx, nil, err
+	}
+	rec.Tool = "tables"
+	cfg.Recorder = rec
+	sinks := []trace.Sink{rec.TraceSink()}
+	if parent := trace.From(ctx).Sink(); parent != nil {
+		sinks = append(sinks, parent)
+	}
+	ctx = trace.With(ctx, trace.Multi(sinks...))
+	finish := func() error {
+		if err := rec.WriteMetrics(reg); err != nil {
+			rec.Close()
+			return err
+		}
+		return rec.Close()
+	}
+	return ctx, finish, nil
+}
+
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, logw io.Writer) ([]condRow, error) {
+func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
@@ -347,7 +385,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 	outs, err := bench.SweepCtx(ctx, workers, bench.Table2, func(ctx context.Context, i int, e bench.Entry) (outcome, error) {
 		ctx = metrics.WithLabels(ctx, "benchmark", e.Name)
 		condStart := time.Now()
-		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
+		cfg := dynunlock.ExperimentConfig{
 			Benchmark:     e.Name,
 			KeyBits:       scaleKey(keyBits, scale),
 			Policy:        dynunlock.PerCycle,
@@ -357,7 +395,21 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 			MaxIterations: maxIters,
 			SeedBase:      100,
 			Log:           logw,
-		})
+		}
+		var finish func() error
+		if recordDir != "" {
+			var err error
+			ctx, finish, err = recordCondition(ctx, recordDir, "table2_"+e.Name, reg, &cfg)
+			if err != nil {
+				return outcome{}, err
+			}
+		}
+		res, err := dynunlock.RunExperimentCtx(ctx, cfg)
+		if finish != nil {
+			if ferr := finish(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
 		if err != nil {
 			return outcome{}, err
 		}
@@ -382,7 +434,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, logw io.Writer) ([]condRow, error) {
+func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
@@ -405,7 +457,7 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 	outs, err := bench.SweepCtx(ctx, workers, conds, func(ctx context.Context, i int, c cond) (outcome, error) {
 		ctx = metrics.WithLabels(ctx, "benchmark", c.name)
 		condStart := time.Now()
-		res, err := dynunlock.RunExperimentCtx(ctx, dynunlock.ExperimentConfig{
+		cfg := dynunlock.ExperimentConfig{
 			Benchmark:     c.name,
 			KeyBits:       scaleKey(c.kb, scale),
 			Policy:        dynunlock.PerCycle,
@@ -415,7 +467,21 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 			MaxIterations: maxIters,
 			SeedBase:      int64(c.kb),
 			Log:           logw,
-		})
+		}
+		var finish func() error
+		if recordDir != "" {
+			var err error
+			ctx, finish, err = recordCondition(ctx, recordDir, fmt.Sprintf("table3_%s_k%d", c.name, c.kb), reg, &cfg)
+			if err != nil {
+				return outcome{}, err
+			}
+		}
+		res, err := dynunlock.RunExperimentCtx(ctx, cfg)
+		if finish != nil {
+			if ferr := finish(); ferr != nil && err == nil {
+				err = ferr
+			}
+		}
 		if err != nil {
 			return outcome{}, err
 		}

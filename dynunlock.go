@@ -12,6 +12,7 @@ import (
 
 	"dynunlock/internal/bench"
 	"dynunlock/internal/core"
+	"dynunlock/internal/flight"
 	"dynunlock/internal/gf2"
 	"dynunlock/internal/lock"
 	"dynunlock/internal/netlist"
@@ -71,6 +72,12 @@ type ExperimentConfig struct {
 	// SeedBase derives the per-trial secrets; experiments with the same
 	// base are reproducible.
 	SeedBase int64
+	// Recorder, when non-nil, captures the experiment as a flight-recorder
+	// bundle: the manifest is written from the resolved design, every scan
+	// session and DIP iteration streams into the bundle, and each trial's
+	// outcome is appended to result.json. Nil costs nothing — the attack
+	// path is untouched.
+	Recorder *flight.Recorder
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -216,13 +223,15 @@ func Fabricate(d *lock.Design, rngSeed int64) (*oracle.Chip, error) {
 }
 
 // Unlock attacks a chip and returns the attack result (see core.Result).
-// Unlock is UnlockCtx under context.Background().
-func Unlock(chip *oracle.Chip, opts core.Options) (*core.Result, error) {
+// The chip may be a fabricated simulator (*oracle.Chip) or any other
+// core.Chip implementation, e.g. a flight-recorder replay oracle. Unlock is
+// UnlockCtx under context.Background().
+func Unlock(chip core.Chip, opts core.Options) (*core.Result, error) {
 	return UnlockCtx(context.Background(), chip, opts)
 }
 
 // UnlockCtx is Unlock with cancellation and tracing (see core.AttackCtx).
-func UnlockCtx(ctx context.Context, chip *oracle.Chip, opts core.Options) (*core.Result, error) {
+func UnlockCtx(ctx context.Context, chip core.Chip, opts core.Options) (*core.Result, error) {
 	return core.AttackCtx(ctx, chip, opts)
 }
 
@@ -275,6 +284,23 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		return nil, err
 	}
 	res := &ExperimentResult{Entry: entry, Config: cfg}
+	if cfg.Recorder != nil {
+		if err := cfg.Recorder.WriteManifest(flight.Manifest{
+			Tool:           cfg.Recorder.Tool,
+			Benchmark:      cfg.Benchmark,
+			Scale:          cfg.Scale,
+			Trials:         cfg.Trials,
+			Mode:           cfg.Mode.String(),
+			Portfolio:      cfg.Portfolio,
+			EnumerateLimit: cfg.EnumerateLimit,
+			MaxIterations:  cfg.MaxIterations,
+			SeedBase:       cfg.SeedBase,
+			Lock:           flight.LockInfoFor(design),
+			Fingerprint:    flight.NewFingerprint(),
+		}); err != nil {
+			return nil, err
+		}
+	}
 	for trial := 0; trial < cfg.Trials; trial++ {
 		if ctx.Err() != nil {
 			res.Stopped, res.StopReason = true, ctxStop(ctx)
@@ -284,14 +310,20 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		atk, err := core.AttackCtx(ctx, chip, core.Options{
+		opts := core.Options{
 			Mode:           cfg.Mode,
 			Portfolio:      cfg.Portfolio,
 			EnumerateLimit: cfg.EnumerateLimit,
 			MaxIterations:  cfg.MaxIterations,
 			Log:            cfg.Log,
-		})
+		}
+		var atkChip core.Chip = chip
+		if cfg.Recorder != nil {
+			atkChip = cfg.Recorder.WrapChip(trial, chip)
+			opts.OnDIP = cfg.Recorder.DIPHook(trial)
+		}
+		start := time.Now()
+		atk, err := core.AttackCtx(ctx, atkChip, opts)
 		if err != nil {
 			return nil, fmt.Errorf("dynunlock: %s trial %d: %w", entry.Name, trial, err)
 		}
@@ -309,6 +341,11 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			Stopped:     atk.Stopped,
 			StopReason:  atk.StopReason,
 		})
+		if cfg.Recorder != nil {
+			t := res.Trials[len(res.Trials)-1]
+			cfg.Recorder.RecordTrial(flight.TrialFromResult(
+				trial, chip.SecretSeed(), atk, t.Seconds, t.Success))
+		}
 		if cfg.Log != nil {
 			t := res.Trials[len(res.Trials)-1]
 			fmt.Fprintf(cfg.Log, "%s k=%d trial %d: candidates=%d iters=%d %.2fs success=%v\n",
@@ -320,6 +357,9 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			res.Stopped, res.StopReason = true, atk.StopReason
 			break
 		}
+	}
+	if cfg.Recorder != nil && res.Stopped {
+		cfg.Recorder.SetStopped(true, string(res.StopReason))
 	}
 	tr.Emit(trace.Event{Type: "experiment", Fields: map[string]any{
 		"benchmark":   entry.Name,

@@ -9,7 +9,6 @@ import (
 	"dynunlock/internal/gf2"
 	"dynunlock/internal/lock"
 	"dynunlock/internal/metrics"
-	"dynunlock/internal/oracle"
 	"dynunlock/internal/sat"
 	"dynunlock/internal/satattack"
 	"dynunlock/internal/sim"
@@ -28,6 +27,27 @@ const (
 	StopBudget     = satattack.StopBudget
 	StopIterations = satattack.StopIterations
 )
+
+// Chip is the oracle-side interface the attack layers consume: the chip
+// the attacker owns, reduced to exactly the operations the attack issues.
+// The fabricated simulator (*oracle.Chip) implements it, and so does the
+// flight recorder's offline replay oracle (internal/flight.Replay), which
+// serves recorded sessions with no chip simulation at all. Everything the
+// attack observes flows through these five methods, so swapping the
+// implementation swaps the physical oracle without touching the attack.
+type Chip interface {
+	// Design returns the attacker-visible structural description.
+	Design() *lock.Design
+	// Reset asserts the chip reset (PRNG reload, counters restart).
+	Reset()
+	// Session runs one scan test session (see oracle.Chip.Session).
+	Session(testKey, scanIn, pi []bool) (scanOut, po []bool)
+	// SessionN runs a multi-capture session (see oracle.Chip.SessionN).
+	SessionN(testKey, scanIn []bool, pis [][]bool) (scanOut []bool, pos [][]bool)
+	// SetSessionHook installs a per-session cycle-accounting hook and
+	// returns the previous one so observers chain and restore.
+	SetSessionHook(h func(cycles uint64)) (prev func(cycles uint64))
+}
 
 // Options configures the DynUnlock attack.
 type Options struct {
@@ -56,6 +76,10 @@ type Options struct {
 	VerifyProbes int
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+	// OnDIP, when non-nil, observes every DIP iteration (see
+	// satattack.Options.OnDIP). The flight recorder installs it to persist
+	// the per-iteration transcript; nil keeps the hot loop untouched.
+	OnDIP satattack.DIPObserver
 }
 
 // Result reports a DynUnlock run.
@@ -101,14 +125,14 @@ type Result struct {
 // model's I/O interface: model inputs (pi, a) map to one reset + session;
 // model outputs are (po, observed scan-out).
 type ChipOracle struct {
-	Chip    *oracle.Chip
+	Chip    Chip
 	TestKey []bool
 	// Sessions counts queries issued through this adapter.
 	Sessions int
 }
 
 // NewChipOracle builds the adapter; nil testKey selects all zeros.
-func NewChipOracle(chip *oracle.Chip, testKey []bool) *ChipOracle {
+func NewChipOracle(chip Chip, testKey []bool) *ChipOracle {
 	if testKey == nil {
 		testKey = make([]bool, chip.Design().Config.KeyBits)
 	}
@@ -131,7 +155,7 @@ func (o *ChipOracle) Query(in []bool) []bool {
 // model construction (Algorithm 1), the SAT attack loop (Fig. 3), seed
 // enumeration, and probe-based verification. Attack is AttackCtx under
 // context.Background().
-func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+func Attack(chip Chip, opts Options) (*Result, error) {
 	return AttackCtx(context.Background(), chip, opts)
 }
 
@@ -142,7 +166,7 @@ func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
 // Fig. 3 stage: unroll, encode, dip_loop, extract, enumerate, refine,
 // verify. With a background context and no sink, behavior is bit-identical
 // to the unbounded sequential attack.
-func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, error) {
+func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 	tr := trace.From(ctx)
 	start := time.Now()
 	d := chip.Design()
@@ -160,8 +184,8 @@ func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, e
 	sessCtr := mh.Counter(metrics.MetricOracleSessions)
 	cycleCtr := mh.Counter(metrics.MetricOracleCycles)
 	var oracleSessions, oracleCycles uint64
-	prevHook := chip.SessionHook
-	chip.SessionHook = func(cycles uint64) {
+	prevHook := chip.SetSessionHook(nil)
+	chip.SetSessionHook(func(cycles uint64) {
 		oracleSessions++
 		oracleCycles += cycles
 		sessCtr.Inc()
@@ -169,8 +193,8 @@ func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, e
 		if prevHook != nil {
 			prevHook(cycles)
 		}
-	}
-	defer func() { chip.SessionHook = prevHook }()
+	})
+	defer chip.SetSessionHook(prevHook)
 
 	adapter := NewChipOracle(chip, opts.TestKey)
 	saOpts := satattack.Options{
@@ -179,6 +203,7 @@ func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, e
 		EnumerateLimit: opts.EnumerateLimit,
 		ConflictBudget: opts.ConflictBudget,
 		Log:            opts.Log,
+		OnDIP:          opts.OnDIP,
 	}
 
 	res := &Result{Mode: opts.Mode}

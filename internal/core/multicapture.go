@@ -7,7 +7,6 @@ import (
 	"dynunlock/internal/gf2"
 	"dynunlock/internal/lock"
 	"dynunlock/internal/netlist"
-	"dynunlock/internal/oracle"
 	"dynunlock/internal/satattack"
 	"dynunlock/internal/scan"
 	"dynunlock/internal/trace"
@@ -193,7 +192,7 @@ func (mm *MultiModel) MaskVector(key []bool) gf2.Vec {
 
 // multiChipOracle adapts multi-capture sessions to the model's interface.
 type multiChipOracle struct {
-	chip     *oracle.Chip
+	chip     Chip
 	testKey  []bool
 	captures int
 	sessions int
@@ -225,13 +224,13 @@ func (o *multiChipOracle) Query(in []bool) []bool {
 // B matrices, which prunes rank-deficient cases exactly as the paper's
 // "second capture" refinement describes. AttackMulti is AttackMultiCtx
 // under context.Background().
-func AttackMulti(chip *oracle.Chip, captures int, opts Options) (*Result, error) {
+func AttackMulti(chip Chip, captures int, opts Options) (*Result, error) {
 	return AttackMultiCtx(context.Background(), chip, captures, opts)
 }
 
 // AttackMultiCtx is AttackMulti with cancellation and tracing, with the
 // same partial-result semantics as AttackCtx.
-func AttackMultiCtx(ctx context.Context, chip *oracle.Chip, captures int, opts Options) (*Result, error) {
+func AttackMultiCtx(ctx context.Context, chip Chip, captures int, opts Options) (*Result, error) {
 	if captures < 2 {
 		return AttackCtx(ctx, chip, opts)
 	}
@@ -259,6 +258,7 @@ func AttackMultiCtx(ctx context.Context, chip *oracle.Chip, captures int, opts O
 		EnumerateLimit: opts.EnumerateLimit,
 		ConflictBudget: opts.ConflictBudget,
 		Log:            opts.Log,
+		OnDIP:          opts.OnDIP,
 	})
 	if err != nil {
 		return nil, err

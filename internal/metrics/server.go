@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -25,6 +26,9 @@ type Server struct {
 	reg *Registry
 	ln  net.Listener
 	srv *http.Server
+	// handlerDelay, when non-zero, sleeps each request handler before it
+	// writes — a test hook for exercising Shutdown's in-flight draining.
+	handlerDelay time.Duration
 }
 
 // Serve starts an HTTP server on addr (e.g. ":9090", "127.0.0.1:0") and
@@ -42,6 +46,9 @@ func Serve(addr string, r *Registry) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if s.handlerDelay > 0 {
+			time.Sleep(s.handlerDelay)
+		}
 		s.refreshProcessGauges()
 		PrometheusHandler(r).ServeHTTP(w, req)
 	}))
@@ -60,8 +67,30 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
+// Close shuts the server down immediately, aborting in-flight scrapes.
+// Prefer Shutdown on clean exits so a scrape racing process exit still
+// gets its response.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener stops accepting new
+// connections and in-flight requests get up to timeout to complete before
+// the remaining connections are closed. A non-positive timeout means
+// immediate Close. Returns nil when every request drained in time;
+// context.DeadlineExceeded when the timeout cut connections off.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		return s.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown leaves the hung connections open; close them so the
+		// process can exit.
+		s.srv.Close()
+	}
+	return err
+}
 
 // refreshProcessGauges samples process-level runtime state into the
 // registry so scrapes always carry fresh values.

@@ -94,6 +94,17 @@ func New(d *lock.Design, secretSeed gf2.Vec, authKey []bool) (*Chip, error) {
 // Design returns the attacker-visible structural description.
 func (c *Chip) Design() *lock.Design { return c.design }
 
+// SetSessionHook installs h as the session hook and returns the hook that
+// was installed before, so layered observers (trace accounting, the flight
+// recorder) can chain and later restore it. Equivalent to assigning the
+// SessionHook field directly; the method form is what satisfies the oracle
+// interface consumed by the attack layers (core.Chip).
+func (c *Chip) SetSessionHook(h func(cycles uint64)) (prev func(cycles uint64)) {
+	prev = c.SessionHook
+	c.SessionHook = h
+	return prev
+}
+
 // Reset asserts the chip reset: flip-flops clear, the PRNG reloads the
 // secret seed, and the pattern/cycle counters restart.
 func (c *Chip) Reset() {

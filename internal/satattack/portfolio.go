@@ -225,13 +225,16 @@ dipLoop:
 			stop = StopIterations
 			break
 		}
-		var solveT0 time.Time
-		if am != nil {
+		var solveT0, solveT1 time.Time
+		if am != nil || opts.OnDIP != nil {
 			solveT0 = time.Now()
 		}
 		winner, st := p.race(ctx, true)
+		if am != nil || opts.OnDIP != nil {
+			solveT1 = time.Now()
+		}
 		if am != nil {
-			am.observeSolve(time.Since(solveT0))
+			am.observeSolve(solveT1.Sub(solveT0))
 		}
 		switch st {
 		case sat.Unsat:
@@ -251,6 +254,9 @@ dipLoop:
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
 			am.observeDIP(res.Iterations)
+			if opts.OnDIP != nil {
+				opts.OnDIP(res.Iterations, dip, resp, p.statsSum(), solveT1.Sub(solveT0))
+			}
 			p.replayDIP(dip, resp)
 			tr.Progressf("iter %d: dip=%s inst=%d clauses=%d",
 				res.Iterations, bitString(dip), winner, w.s.NumClauses())

@@ -112,7 +112,19 @@ type Options struct {
 	// inspect which seed bits have been pinned. Pass a func that opens a
 	// per-iteration file and writes the solver's DIMACS dump into it.
 	DumpCNF func(iteration int, dump func(w io.Writer) error)
+	// OnDIP, when non-nil, observes every completed DIP iteration: the
+	// iteration number (1-based), the distinguishing input, the oracle's
+	// response, a snapshot of the solver counters after the iteration
+	// (summed over portfolio instances), and the wall time of the SAT call
+	// that produced the DIP. The flight recorder (internal/flight) uses it
+	// to persist dips.jsonl. The dip and resp slices are only valid for the
+	// duration of the call. nil leaves the hot loop free of timestamps and
+	// allocations, preserving the bit-identical unobserved path.
+	OnDIP DIPObserver
 }
+
+// DIPObserver receives one callback per DIP iteration (see Options.OnDIP).
+type DIPObserver func(iteration int, dip, resp []bool, stats sat.Stats, solveTime time.Duration)
 
 // StopReason classifies why an attack stopped before completing.
 type StopReason string
@@ -270,15 +282,18 @@ dipLoop:
 			break
 		}
 		solves++
-		// The timestamp is taken only when metrics are live so the disabled
-		// path stays bit-identical and syscall-free.
-		var solveT0 time.Time
-		if am != nil {
+		// The timestamp is taken only when an observer is live so the
+		// disabled path stays bit-identical and syscall-free.
+		var solveT0, solveT1 time.Time
+		if am != nil || opts.OnDIP != nil {
 			solveT0 = time.Now()
 		}
 		st := s.SolveCtx(ctx, miter)
+		if am != nil || opts.OnDIP != nil {
+			solveT1 = time.Now()
+		}
 		if am != nil {
-			am.observeSolve(time.Since(solveT0))
+			am.observeSolve(solveT1.Sub(solveT0))
 		}
 		switch st {
 		case sat.Unsat:
@@ -297,6 +312,9 @@ dipLoop:
 				return nil, fmt.Errorf("satattack: oracle returned %d outputs, want %d", len(resp), len(l.View.Outputs))
 			}
 			am.observeDIP(res.Iterations)
+			if opts.OnDIP != nil {
+				opts.OnDIP(res.Iterations, dip, resp, s.Stats, solveT1.Sub(solveT0))
+			}
 			cx := e.ConstVec(dip)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)

@@ -17,7 +17,6 @@ import (
 
 	"dynunlock/internal/core"
 	"dynunlock/internal/gf2"
-	"dynunlock/internal/oracle"
 	"dynunlock/internal/scan"
 )
 
@@ -47,13 +46,13 @@ type Options struct {
 
 // Attack runs ScanSAT against a statically locked chip. Attack is
 // AttackCtx under context.Background().
-func Attack(chip *oracle.Chip, opts Options) (*Result, error) {
+func Attack(chip core.Chip, opts Options) (*Result, error) {
 	return AttackCtx(context.Background(), chip, opts)
 }
 
 // AttackCtx is Attack with cancellation and tracing, with the partial-result
 // semantics of core.AttackCtx.
-func AttackCtx(ctx context.Context, chip *oracle.Chip, opts Options) (*Result, error) {
+func AttackCtx(ctx context.Context, chip core.Chip, opts Options) (*Result, error) {
 	if p := chip.Design().Config.Policy; p != scan.Static {
 		return nil, fmt.Errorf("scansat: design uses %v; ScanSAT handles static scan locking only (use DynUnlock)", p)
 	}

@@ -93,6 +93,16 @@ func New(s Sink) *Tracer {
 // Enabled reports whether events reach a real sink.
 func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
 
+// Sink returns the tracer's sink (nil for the no-op tracer). Callers use
+// it to layer an extra sink over an inherited context with Multi without
+// losing the one already installed.
+func (t *Tracer) Sink() Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
 // Start begins a span. End must be called to emit the closing event;
 // counters added in between travel on the span_end event.
 func (t *Tracer) Start(name string) *Span {
