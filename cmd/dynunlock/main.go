@@ -53,6 +53,7 @@ func main() {
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write a flight-recorder bundle (manifest, oracle/DIP transcripts, trace, metrics, result) to this directory")
+		profile   = flag.Bool("profile", false, "capture CPU and heap pprof profiles into the -record bundle (requires -record)")
 		verbose   = flag.Bool("v", false, "log attack progress")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 
@@ -131,6 +132,13 @@ func main() {
 		rec.Tool = "dynunlock"
 		cfg.Recorder = rec
 		sinks = append(sinks, rec.TraceSink())
+		if *profile {
+			if err := rec.StartProfiles(); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	} else if *profile {
+		fatalf("-profile requires -record: profiles are stored inside the bundle")
 	}
 	ctx = trace.With(ctx, trace.Multi(sinks...))
 

@@ -1,26 +1,45 @@
-// Command runs inspects, validates, replays, and compares flight-recorder
-// bundles (see internal/flight).
+// Command runs inspects, validates, replays, compares, and reports on
+// flight-recorder bundles (see internal/flight).
 //
 // Usage:
 //
 //	runs show <bundle>                  print a bundle summary and stage table
 //	runs validate <bundle>              check the bundle files and manifest schema
-//	runs replay <bundle>                re-run the attack from the transcript; exit 1 on divergence
+//	runs replay <bundle>                re-run the attack from the transcript
 //	runs diff <bundleA> <bundleB>       cross-run comparison of two bundles
 //	runs bench [-out FILE] <bundle>...  append normalized rows to BENCH_attack.json
 //	runs baseline [-bench FILE] <bundle>  compare a bundle to its ledger baseline row
+//	runs report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
+//	                                    render bundles into a self-contained HTML report
+//
+// Exit codes are uniform across subcommands so scripts and CI can tell the
+// failure classes apart:
+//
+//	0  success (validate: bundle ok; replay/diff/baseline: results match)
+//	1  mismatch — replay diverged, diff found differing deterministic
+//	   columns, or the baseline comparison failed
+//	2  usage error
+//	3  corrupt or unreadable bundle/ledger (malformed JSON, failed schema
+//	   validation, missing files)
 //
 // replay is the post-mortem tool: it rebuilds the locked design from the
 // manifest, serves every oracle query from oracle.jsonl (no chip
 // simulation), and compares the re-derived result to result.json. For
 // sequentially recorded bundles the comparison is exact — any diff means
 // the attack code changed behavior since the recording.
+//
+// report renders one or more bundles (a directory of bundles expands to its
+// sorted children) into one static HTML file with inline-SVG charts: the
+// insight rank/seed-space curve, solve-time and oracle-cycle timelines,
+// solver hotspots, and a cross-run comparison table. The output is
+// deterministic: the same bundles render byte-identically.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -29,70 +48,94 @@ import (
 	"dynunlock/internal/trace"
 )
 
+// Exit codes (documented in the package comment; asserted in main_test.go).
+const (
+	exitOK       = 0
+	exitMismatch = 1
+	exitUsage    = 2
+	exitCorrupt  = 3
+)
+
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	switch cmd {
-	case "show":
-		cmdShow(args)
-	case "validate":
-		cmdValidate(args)
-	case "replay":
-		cmdReplay(args)
-	case "diff":
-		cmdDiff(args)
-	case "bench":
-		cmdBench(args)
-	case "baseline":
-		cmdBaseline(args)
-	default:
-		usage()
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: runs <command> [args]
+// run dispatches a subcommand and returns the process exit code; main is a
+// thin os.Exit wrapper so tests can drive the CLI in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "show":
+		return cmdShow(rest, stdout, stderr)
+	case "validate":
+		return cmdValidate(rest, stdout, stderr)
+	case "replay":
+		return cmdReplay(rest, stdout, stderr)
+	case "diff":
+		return cmdDiff(rest, stdout, stderr)
+	case "bench":
+		return cmdBench(rest, stdout, stderr)
+	case "baseline":
+		return cmdBaseline(rest, stdout, stderr)
+	case "report":
+		return cmdReport(rest, stdout, stderr)
+	}
+	return usage(stderr)
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage: runs <command> [args]
 
   show <bundle>                   print a bundle summary
   validate <bundle>               validate bundle files and manifest schema
-  replay <bundle>                 replay the attack offline; exit 1 on divergence
+  replay <bundle>                 replay the attack offline
   diff <bundleA> <bundleB>        compare two bundles
   bench [-out FILE] <bundle>...   append normalized rows to a benchmark ledger
-  baseline [-bench FILE] <bundle> compare a bundle to its ledger baseline`)
-	os.Exit(2)
+  baseline [-bench FILE] <bundle> compare a bundle to its ledger baseline
+  report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
+                                  render bundles into one self-contained HTML report
+
+exit codes: 0 ok/match · 1 mismatch (replay divergence, diff or baseline
+mismatch) · 2 usage · 3 corrupt or unreadable bundle/ledger`)
+	return exitUsage
 }
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "runs: "+format+"\n", args...)
-	os.Exit(2)
-}
-
-func open(dir string) *flight.Bundle {
+// open loads a bundle; a load failure prints the fault and reports it as
+// corrupt/unreadable (exit 3 at the caller).
+func open(dir string, stderr io.Writer) (*flight.Bundle, bool) {
 	b, err := flight.Open(dir)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return nil, false
 	}
-	return b
+	return b, true
 }
 
-func cmdShow(args []string) {
+func cmdShow(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		return usage(stderr)
 	}
-	b := open(args[0])
+	b, ok := open(args[0], stderr)
+	if !ok {
+		return exitCorrupt
+	}
 	m := &b.Manifest
-	fmt.Printf("bundle      %s\n", b.Dir)
-	fmt.Printf("recorded    %s by %s (%s %s/%s, %d CPU, host %s)\n",
+	fmt.Fprintf(stdout, "bundle      %s\n", b.Dir)
+	fmt.Fprintf(stdout, "recorded    %s by %s (%s %s/%s, %d CPU, host %s)\n",
 		m.CreatedAt, orDash(m.Tool), m.Fingerprint.GoVersion,
 		m.Fingerprint.GOOS, m.Fingerprint.GOARCH, m.Fingerprint.NumCPU, orDash(m.Fingerprint.Host))
 	if m.Fingerprint.GitCommit != "" {
-		fmt.Printf("commit      %s\n", m.Fingerprint.GitCommit)
+		fmt.Fprintf(stdout, "commit      %s\n", m.Fingerprint.GitCommit)
 	}
-	fmt.Printf("experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d\n",
+	fmt.Fprintf(stdout, "experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d\n",
 		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase)
-	fmt.Printf("transcript  %d sessions, %d DIP iterations\n\n", len(b.Sessions), len(b.DIPs))
+	if len(m.Profiles) > 0 {
+		fmt.Fprintf(stdout, "profiles    %v\n", m.Profiles)
+	}
+	fmt.Fprintf(stdout, "transcript  %d sessions, %d DIP iterations\n\n", len(b.Sessions), len(b.DIPs))
 
 	tb := report.New(fmt.Sprintf("Trials (%d recorded)", len(b.Result.Trials)),
 		"Trial", "Candidates", "Iterations", "Queries", "Seconds", "Conflicts", "Success")
@@ -100,40 +143,51 @@ func cmdShow(args []string) {
 		tb.AddRow(t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries,
 			t.Seconds, t.Solver.Conflicts, t.Success)
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 	if b.Result.Stopped {
-		fmt.Printf("\nstopped early: %s\n", b.Result.StopReason)
+		fmt.Fprintf(stdout, "\nstopped early: %s\n", b.Result.StopReason)
 	}
 	if spans, err := flight.ReadTrace(b.Dir); err == nil && len(spans) > 0 {
-		fmt.Println()
-		report.StageTable("Per-stage timing (summed over trials)", spans).Render(os.Stdout)
+		fmt.Fprintln(stdout)
+		report.StageTable("Per-stage timing (summed over trials)", spans).Render(stdout)
 	}
+	return exitOK
 }
 
-func cmdValidate(args []string) {
+func cmdValidate(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		return usage(stderr)
 	}
-	b := open(args[0]) // Open validates the manifest and parses every line
+	b, ok := open(args[0], stderr) // Open validates the manifest and parses every line
+	if !ok {
+		return exitCorrupt
+	}
 	if _, err := b.Design(); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
 	if _, err := flight.ReadTrace(b.Dir); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
-	fmt.Printf("runs: %s ok: %d trial(s), %d session(s), %d DIP(s)\n",
+	fmt.Fprintf(stdout, "runs: %s ok: %d trial(s), %d session(s), %d DIP(s)\n",
 		args[0], len(b.Result.Trials), len(b.Sessions), len(b.DIPs))
+	return exitOK
 }
 
-func cmdReplay(args []string) {
+func cmdReplay(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		return usage(stderr)
 	}
-	b := open(args[0])
+	b, ok := open(args[0], stderr)
+	if !ok {
+		return exitCorrupt
+	}
 	start := time.Now()
 	replayed, err := b.Replay(context.Background())
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
 	diffs := flight.Compare(&b.Result, replayed)
 	tb := report.New(fmt.Sprintf("Replay of %s (%d trial(s), %.2fs offline)",
@@ -146,22 +200,34 @@ func cmdReplay(args []string) {
 				&flight.ResultDoc{Trials: replayed.Trials[i : i+1]})) == 0
 		tb.AddRow(t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries, match)
 	}
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 	if len(diffs) > 0 {
-		fmt.Println("\nreplay diverged from the recording:")
+		fmt.Fprintln(stdout, "\nreplay diverged from the recording:")
 		for _, d := range diffs {
-			fmt.Printf("  %s\n", d)
+			fmt.Fprintf(stdout, "  %s\n", d)
 		}
-		os.Exit(1)
+		return exitMismatch
 	}
-	fmt.Println("\nreplay is bit-identical to the recording")
+	fmt.Fprintln(stdout, "\nreplay is bit-identical to the recording")
+	return exitOK
 }
 
-func cmdDiff(args []string) {
+// cmdDiff compares two bundles. The deterministic outcome columns (trials,
+// iterations, queries, candidates, broken) decide the exit code: identical
+// outcomes exit 0, differing ones exit 1; timing and solver-effort columns
+// are report-only.
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 2 {
-		usage()
+		return usage(stderr)
 	}
-	a, b := open(args[0]), open(args[1])
+	a, okA := open(args[0], stderr)
+	if !okA {
+		return exitCorrupt
+	}
+	b, okB := open(args[1], stderr)
+	if !okB {
+		return exitCorrupt
+	}
 	ra, rb := flight.BenchRowFrom(a), flight.BenchRowFrom(b)
 
 	tb := report.New(fmt.Sprintf("Bundle diff: %s vs %s", args[0], args[1]),
@@ -181,14 +247,26 @@ func cmdDiff(args []string) {
 	addNum("total conflicts", float64(ra.TotalConflicts), float64(rb.TotalConflicts))
 	addNum("total propagations", float64(ra.TotalPropagations), float64(rb.TotalPropagations))
 	tb.AddRow("broken", ra.Broken, rb.Broken, "")
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 
 	sa, errA := flight.ReadTrace(a.Dir)
 	sb, errB := flight.ReadTrace(b.Dir)
 	if errA == nil && errB == nil && (len(sa) > 0 || len(sb) > 0) {
-		fmt.Println()
-		stageDiffTable(sa, sb).Render(os.Stdout)
+		fmt.Fprintln(stdout)
+		stageDiffTable(sa, sb).Render(stdout)
 	}
+	same := ra.Benchmark == rb.Benchmark &&
+		ra.Trials == rb.Trials &&
+		ra.AvgIterations == rb.AvgIterations &&
+		ra.AvgQueries == rb.AvgQueries &&
+		ra.AvgCandidates == rb.AvgCandidates &&
+		ra.Broken == rb.Broken
+	if !same {
+		fmt.Fprintln(stdout, "\nbundles differ on deterministic columns")
+		return exitMismatch
+	}
+	fmt.Fprintln(stdout, "\nbundles match on deterministic columns")
+	return exitOK
 }
 
 func cfgString(r flight.BenchRow) string {
@@ -233,44 +311,63 @@ func stageDiffTable(a, b []trace.SpanRecord) *report.Table {
 	return tb
 }
 
-func cmdBench(args []string) {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+func cmdBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	out := fs.String("out", "BENCH_attack.json", "benchmark ledger to append to")
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	if fs.NArg() < 1 {
-		usage()
+		return usage(stderr)
 	}
 	ledger, err := flight.ReadBenchFile(*out)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
 	for _, dir := range fs.Args() {
-		row := flight.BenchRowFrom(open(dir))
+		b, ok := open(dir, stderr)
+		if !ok {
+			return exitCorrupt
+		}
+		row := flight.BenchRowFrom(b)
 		ledger.Rows = append(ledger.Rows, row)
-		fmt.Printf("runs: %s: %s %s avg_iters=%.1f avg_secs=%.3f conflicts=%d broken=%v\n",
+		fmt.Fprintf(stdout, "runs: %s: %s %s avg_iters=%.1f avg_secs=%.3f conflicts=%d broken=%v\n",
 			*out, row.Benchmark, cfgString(row), row.AvgIterations, row.AvgSeconds,
 			row.TotalConflicts, row.Broken)
 	}
 	if err := ledger.Write(*out); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
+	return exitOK
 }
 
-func cmdBaseline(args []string) {
-	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+func cmdBaseline(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	ledgerPath := fs.String("bench", "BENCH_attack.json", "benchmark ledger holding the baseline rows")
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
 	if fs.NArg() != 1 {
-		usage()
+		return usage(stderr)
 	}
 	ledger, err := flight.ReadBenchFile(*ledgerPath)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "runs: %v\n", err)
+		return exitCorrupt
 	}
-	row := flight.BenchRowFrom(open(fs.Arg(0)))
-	base, ok := ledger.FindRow(row)
+	b, ok := open(fs.Arg(0), stderr)
 	if !ok {
-		fatalf("no baseline row in %s for %s %s", *ledgerPath, row.Benchmark, cfgString(row))
+		return exitCorrupt
+	}
+	row := flight.BenchRowFrom(b)
+	base, found := ledger.FindRow(row)
+	if !found {
+		fmt.Fprintf(stderr, "runs: no baseline row in %s for %s %s\n", *ledgerPath, row.Benchmark, cfgString(row))
+		return exitMismatch
 	}
 	tb := report.New(fmt.Sprintf("Baseline comparison: %s %s", row.Benchmark, cfgString(row)),
 		"Metric", "Baseline", "Current", "Delta")
@@ -282,7 +379,7 @@ func cmdBaseline(args []string) {
 	num("avg seconds", base.AvgSeconds, row.AvgSeconds)
 	num("total conflicts", float64(base.TotalConflicts), float64(row.TotalConflicts))
 	tb.AddRow("broken", base.Broken, row.Broken, "")
-	tb.Render(os.Stdout)
+	tb.Render(stdout)
 	// The deterministic columns must match the baseline exactly; timing and
 	// solver-effort columns are report-only (they vary across hosts).
 	exact := base.Trials == row.Trials &&
@@ -291,10 +388,11 @@ func cmdBaseline(args []string) {
 		base.AvgCandidates == row.AvgCandidates &&
 		base.Broken == row.Broken
 	if !exact {
-		fmt.Println("\nbaseline mismatch on deterministic columns")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "\nbaseline mismatch on deterministic columns")
+		return exitMismatch
 	}
-	fmt.Println("\nbaseline match on deterministic columns")
+	fmt.Fprintln(stdout, "\nbaseline match on deterministic columns")
+	return exitOK
 }
 
 func orDash(s string) string {

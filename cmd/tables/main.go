@@ -53,6 +53,7 @@ func main() {
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write one flight-recorder bundle per table condition under this directory (tables 2 and 3)")
+		profile   = flag.Bool("profile", false, "capture CPU and heap pprof profiles into each condition's bundle (requires -record and -parallel 1)")
 		jsonPath  = flag.String("json", "", "also write machine-readable results to this path")
 		v         = flag.Bool("v", false, "log per-trial progress to stderr")
 
@@ -118,6 +119,16 @@ func main() {
 		// no per-trial result to bundle.
 		fmt.Fprintln(os.Stderr, "tables: -record applies to tables 2 and 3 only; ignoring for table 1")
 	}
+	if *profile {
+		// The runtime allows one CPU profile per process, so per-condition
+		// capture needs the sequential pool.
+		if *recordDir == "" {
+			fatalf("-profile requires -record: profiles are stored inside the bundles")
+		}
+		if workers != 1 {
+			fatalf("-profile requires -parallel 1 (one CPU profile per process)")
+		}
+	}
 	start := time.Now()
 	var rows []condRow
 	var err error
@@ -125,9 +136,9 @@ func main() {
 	case 1:
 		rows, err = table1(ctx, *scale, *portfolio, workers, logw)
 	case 2:
-		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, reg, logw)
+		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, *profile, reg, logw)
 	case 3:
-		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, reg, logw)
+		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, *profile, reg, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
@@ -349,13 +360,19 @@ func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) 
 // already carries (so -trace and -record coexist). The returned finish
 // func writes the terminal metrics snapshot and closes the bundle; call it
 // after the experiment.
-func recordCondition(ctx context.Context, dir, name string, reg *metrics.Registry, cfg *dynunlock.ExperimentConfig) (context.Context, func() error, error) {
+func recordCondition(ctx context.Context, dir, name string, profile bool, reg *metrics.Registry, cfg *dynunlock.ExperimentConfig) (context.Context, func() error, error) {
 	rec, err := flight.Create(filepath.Join(dir, name))
 	if err != nil {
 		return ctx, nil, err
 	}
 	rec.Tool = "tables"
 	cfg.Recorder = rec
+	if profile {
+		if err := rec.StartProfiles(); err != nil {
+			rec.Close()
+			return ctx, nil, err
+		}
+	}
 	sinks := []trace.Sink{rec.TraceSink()}
 	if parent := trace.From(ctx).Sink(); parent != nil {
 		sinks = append(sinks, parent)
@@ -372,7 +389,7 @@ func recordCondition(ctx context.Context, dir, name string, reg *metrics.Registr
 }
 
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, profile bool, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
@@ -399,7 +416,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 		var finish func() error
 		if recordDir != "" {
 			var err error
-			ctx, finish, err = recordCondition(ctx, recordDir, "table2_"+e.Name, reg, &cfg)
+			ctx, finish, err = recordCondition(ctx, recordDir, "table2_"+e.Name, profile, reg, &cfg)
 			if err != nil {
 				return outcome{}, err
 			}
@@ -434,7 +451,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, profile bool, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
@@ -471,7 +488,7 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 		var finish func() error
 		if recordDir != "" {
 			var err error
-			ctx, finish, err = recordCondition(ctx, recordDir, fmt.Sprintf("table3_%s_k%d", c.name, c.kb), reg, &cfg)
+			ctx, finish, err = recordCondition(ctx, recordDir, fmt.Sprintf("table3_%s_k%d", c.name, c.kb), profile, reg, &cfg)
 			if err != nil {
 				return outcome{}, err
 			}

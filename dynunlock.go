@@ -14,10 +14,13 @@ import (
 	"dynunlock/internal/core"
 	"dynunlock/internal/flight"
 	"dynunlock/internal/gf2"
+	"dynunlock/internal/insight"
 	"dynunlock/internal/lock"
+	"dynunlock/internal/metrics"
 	"dynunlock/internal/netlist"
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/sat"
+	"dynunlock/internal/satattack"
 	"dynunlock/internal/scan"
 	"dynunlock/internal/trace"
 )
@@ -321,6 +324,18 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		if cfg.Recorder != nil {
 			atkChip = cfg.Recorder.WrapChip(trial, chip)
 			opts.OnDIP = cfg.Recorder.DIPHook(trial)
+		}
+		// Seed-space insight rides the same OnDIP hook whenever telemetry
+		// is live: a registry or trace sink on ctx turns the tracker on, no
+		// sinks leaves the hot loop untouched. A tracker setup failure
+		// (e.g. a nonlinear PRNG the linear model refuses) degrades to an
+		// untracked run rather than failing the attack.
+		if mh := metrics.From(ctx); mh != nil || tr.Enabled() {
+			if tk, err := insight.New(design, insight.Options{Metrics: mh, Tracer: tr}); err == nil {
+				opts.OnDIP = satattack.ChainObservers(opts.OnDIP, tk.DIPObserver())
+			} else if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "insight tracker disabled: %v\n", err)
+			}
 		}
 		start := time.Now()
 		atk, err := core.AttackCtx(ctx, atkChip, opts)

@@ -57,6 +57,15 @@ func maskMatrices(d *lock.Design, patIdx int) (A, B *gf2.Mat, err error) {
 	return maskMatricesN(d, patIdx, 1)
 }
 
+// MaskMatrices returns the session mask matrices (A, B) for one capture
+// session at the given pattern index: scan-in bit j is XOR-masked by
+// A.Row(j)·seed on the way in and scan-out bit j by B.Row(j)·seed on the
+// way out. Observability layers (internal/insight) use them to linearize
+// oracle responses over the seed without rebuilding the SAT model.
+func MaskMatrices(d *lock.Design, patIdx int) (A, B *gf2.Mat, err error) {
+	return maskMatrices(d, patIdx)
+}
+
 // registerStates returns the symbolic key-register states for step counts
 // 0..maxSteps: states[t]·seed is the register value after t steps.
 func registerStates(d *lock.Design, maxSteps int) ([]*gf2.Mat, error) {

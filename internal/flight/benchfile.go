@@ -89,12 +89,12 @@ func ReadBenchFile(path string) (*BenchFile, error) {
 	err := readJSONFile(path, &f)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return &BenchFile{FormatVersion: FormatVersion}, nil
+			return &BenchFile{FormatVersion: BenchFormatVersion}, nil
 		}
 		return nil, err
 	}
-	if f.FormatVersion != FormatVersion {
-		return nil, &BundleError{Path: path, Err: fmt.Errorf("%w: formatVersion %d, want %d", ErrCorrupt, f.FormatVersion, FormatVersion)}
+	if f.FormatVersion != BenchFormatVersion {
+		return nil, &BundleError{Path: path, Err: fmt.Errorf("%w: formatVersion %d, want %d", ErrCorrupt, f.FormatVersion, BenchFormatVersion)}
 	}
 	return &f, nil
 }
@@ -102,7 +102,7 @@ func ReadBenchFile(path string) (*BenchFile, error) {
 // Write persists the ledger (indented, trailing newline — diff-friendly for
 // a committed file).
 func (f *BenchFile) Write(path string) error {
-	f.FormatVersion = FormatVersion
+	f.FormatVersion = BenchFormatVersion
 	return writeJSONFile(path, f)
 }
 

@@ -86,8 +86,13 @@ func Open(dir string) (*Bundle, error) {
 // (docs/manifest.schema.json): required fields present, widths consistent,
 // gate positions in range. cmd/runs validate and Open both enforce it.
 func ValidateManifest(m *Manifest) error {
-	if m.FormatVersion != FormatVersion {
-		return fmt.Errorf("formatVersion %d, want %d", m.FormatVersion, FormatVersion)
+	if m.FormatVersion < MinFormatVersion || m.FormatVersion > FormatVersion {
+		return fmt.Errorf("formatVersion %d, want %d..%d", m.FormatVersion, MinFormatVersion, FormatVersion)
+	}
+	for i, p := range m.Profiles {
+		if p == "" || p != filepath.Base(p) {
+			return fmt.Errorf("profiles[%d] %q: want a bare file name inside the bundle", i, p)
+		}
 	}
 	if m.CreatedAt == "" {
 		return errors.New("createdAt missing")

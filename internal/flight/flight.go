@@ -42,7 +42,22 @@ import (
 )
 
 // FormatVersion identifies the bundle layout; bump on incompatible change.
-const FormatVersion = 1
+// Version history:
+//
+//	1  initial layout (manifest, oracle/DIP transcripts, trace, metrics, result)
+//	2  adds Manifest.Profiles: optional pprof captures stored in the bundle
+//
+// Readers accept any version in [MinFormatVersion, FormatVersion]: v2 is a
+// strict superset of v1, so v1 bundles load unchanged.
+const (
+	FormatVersion    = 2
+	MinFormatVersion = 1
+)
+
+// BenchFormatVersion identifies the BENCH_attack.json ledger layout. The
+// ledger is a separate committed artifact with its own (unchanged) schema;
+// it does not track the bundle FormatVersion.
+const BenchFormatVersion = 1
 
 // Manifest is the bundle's self-description: everything needed to rebuild
 // the locked design and re-run the attack, plus a provenance fingerprint.
@@ -65,6 +80,12 @@ type Manifest struct {
 
 	Lock        LockInfo    `json:"lock"`
 	Fingerprint Fingerprint `json:"fingerprint"`
+
+	// Profiles lists pprof capture files stored in the bundle directory
+	// (e.g. "cpu.pprof", "heap.pprof"), recorded when the run was started
+	// with -profile. Empty on unprofiled runs and on v1 bundles (new in
+	// format version 2).
+	Profiles []string `json:"profiles,omitempty"`
 }
 
 // LockInfo is the resolved locking configuration of the recorded design:

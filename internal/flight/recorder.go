@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -26,6 +28,10 @@ const (
 	TraceFile    = "trace.jsonl"
 	MetricsFile  = "metrics.json"
 	ResultFile   = "result.json"
+
+	// Profile capture files (format version 2, -profile runs only).
+	CPUProfileFile  = "cpu.pprof"
+	HeapProfileFile = "heap.pprof"
 )
 
 // Recorder writes a run bundle. It is safe for concurrent use: condition
@@ -40,17 +46,19 @@ type Recorder struct {
 
 	dir string
 
-	mu      sync.Mutex
-	oracleF *os.File
-	oracleW *bufio.Writer
-	dipsF   *os.File
-	dipsW   *bufio.Writer
-	traceF  *os.File
-	sink    trace.Sink
-	seq     int
-	result  ResultDoc
-	start   time.Time
-	closed  bool
+	mu       sync.Mutex
+	oracleF  *os.File
+	oracleW  *bufio.Writer
+	dipsF    *os.File
+	dipsW    *bufio.Writer
+	traceF   *os.File
+	sink     trace.Sink
+	seq      int
+	result   ResultDoc
+	start    time.Time
+	closed   bool
+	cpuF     *os.File
+	profiles []string
 }
 
 // Create opens a new bundle directory (making it if needed) and the
@@ -85,7 +93,8 @@ func Create(dir string) (*Recorder, error) {
 func (r *Recorder) Dir() string { return r.dir }
 
 // WriteManifest writes manifest.json. A zero CreatedAt/FormatVersion is
-// stamped here so callers only fill the run description.
+// stamped here so callers only fill the run description; the recorder's
+// active profile captures are stamped when the caller leaves Profiles empty.
 func (r *Recorder) WriteManifest(m Manifest) error {
 	if m.FormatVersion == 0 {
 		m.FormatVersion = FormatVersion
@@ -93,7 +102,70 @@ func (r *Recorder) WriteManifest(m Manifest) error {
 	if m.CreatedAt == "" {
 		m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	}
+	if len(m.Profiles) == 0 {
+		m.Profiles = r.Profiles()
+	}
 	return writeJSONFile(filepath.Join(r.dir, ManifestFile), &m)
+}
+
+// StartProfiles begins per-run pprof capture into the bundle: a CPU profile
+// streams to cpu.pprof immediately, and Close writes a terminal heap
+// profile to heap.pprof. Both names are stamped into the manifest (format
+// version 2). Fails if another CPU profile is already active in the
+// process.
+func (r *Recorder) StartProfiles() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cpuF != nil {
+		return fmt.Errorf("flight: profiles already started")
+	}
+	f, err := os.Create(filepath.Join(r.dir, CPUProfileFile))
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("flight: %w", err)
+	}
+	r.cpuF = f
+	r.profiles = []string{CPUProfileFile, HeapProfileFile}
+	return nil
+}
+
+// Profiles returns the profile file names this recorder is capturing (nil
+// when StartProfiles was never called).
+func (r *Recorder) Profiles() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.profiles...)
+}
+
+// stopProfiles finalizes an active capture: stops the CPU profile and
+// writes the heap profile. Called under r.mu from Close; a no-op when
+// StartProfiles was never called.
+func (r *Recorder) stopProfiles() error {
+	if r.cpuF == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := r.cpuF.Close()
+	r.cpuF = nil
+	hf, herr := os.Create(filepath.Join(r.dir, HeapProfileFile))
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	runtime.GC() // settle the heap so the profile reflects live objects
+	if werr := pprof.Lookup("heap").WriteTo(hf, 0); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // TraceSink returns a sink that streams the run's trace events into the
@@ -252,6 +324,7 @@ func (r *Recorder) Close() error {
 			firstErr = err
 		}
 	}
+	keep(r.stopProfiles())
 	keep(r.oracleW.Flush())
 	keep(r.oracleF.Close())
 	keep(r.dipsW.Flush())

@@ -1,0 +1,206 @@
+package insight
+
+import (
+	"fmt"
+
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/netlist"
+)
+
+// form is the affine abstract value of one signal during symbolic
+// simulation: the function lin·s ⊕ c of the seed s, or ⊤ ("top") when
+// the signal's seed dependence is not certifiably affine. A zero-length
+// lin means "no seed dependence" (plain constant), so constants never
+// allocate. Forms are immutable once stored: operations build fresh
+// vectors, so aliasing mask-matrix rows is safe.
+type form struct {
+	top bool
+	c   bool
+	lin gf2.Vec
+}
+
+func (f form) isConst() bool { return !f.top && f.lin.Len() == 0 }
+
+func (f form) equal(g form) bool {
+	if f.top || g.top {
+		return false
+	}
+	if f.c != g.c {
+		return false
+	}
+	switch {
+	case f.lin.Len() == 0 && g.lin.Len() == 0:
+		return true
+	case f.lin.Len() == 0:
+		return g.lin.IsZero()
+	case g.lin.Len() == 0:
+		return f.lin.IsZero()
+	default:
+		return f.lin.Equal(g.lin)
+	}
+}
+
+var formTop = form{top: true}
+
+// xor2 returns f ⊕ g, exact whenever both operands are affine.
+func xor2(f, g form) form {
+	if f.top || g.top {
+		return formTop
+	}
+	out := form{c: f.c != g.c}
+	switch {
+	case f.lin.Len() == 0:
+		out.lin = g.lin
+	case g.lin.Len() == 0:
+		out.lin = f.lin
+	default:
+		v := f.lin.XorInto(g.lin)
+		if !v.IsZero() {
+			out.lin = v
+		}
+	}
+	return out
+}
+
+func not(f form) form {
+	if f.top {
+		return formTop
+	}
+	f.c = !f.c
+	return f
+}
+
+// andAll folds AND over fanin forms with constant absorption: a
+// constant-0 operand forces 0 even past ⊤, constant-1 operands vanish,
+// a single surviving non-constant operand passes through, and identical
+// survivors collapse (AND(f,f) = f). Two distinct non-constant
+// survivors are genuinely nonlinear → ⊤.
+func andAll(fs []form) form {
+	var surv []form
+	for _, f := range fs {
+		if f.isConst() {
+			if !f.c {
+				return form{}
+			}
+			continue
+		}
+		surv = append(surv, f)
+	}
+	return collapse(surv, true)
+}
+
+// orAll is the dual: constant-1 absorbs, constant-0 vanishes.
+func orAll(fs []form) form {
+	var surv []form
+	for _, f := range fs {
+		if f.isConst() {
+			if f.c {
+				return form{c: true}
+			}
+			continue
+		}
+		surv = append(surv, f)
+	}
+	return collapse(surv, false)
+}
+
+// collapse resolves the non-constant survivors of an AND (identity
+// true) or OR (identity false).
+func collapse(surv []form, identity bool) form {
+	switch len(surv) {
+	case 0:
+		return form{c: identity}
+	case 1:
+		return surv[0]
+	}
+	for _, f := range surv[1:] {
+		if !f.equal(surv[0]) {
+			return formTop
+		}
+	}
+	return surv[0]
+}
+
+// simulate runs the affine symbolic simulation of the core circuit for
+// one DIP, filling t.forms for every signal. Caller holds t.mu.
+func (t *Tracker) simulate(dip []bool) {
+	v := t.view
+	nl := v.N
+	// Inputs: primary inputs are DIP constants; present-state bit j sees
+	// a_j ⊕ A.Row(j)·s through the scan-in mask.
+	for i, sid := range v.Inputs {
+		if i < v.NumPI {
+			t.forms[sid] = form{c: dip[i]}
+			continue
+		}
+		j := i - v.NumPI
+		f := form{c: dip[i]}
+		if row := t.a.Row(j); !row.IsZero() {
+			f.lin = row
+		}
+		t.forms[sid] = f
+	}
+	for id := 0; id < nl.NumSignals(); id++ {
+		sid := netlist.SignalID(id)
+		switch nl.Type(sid) {
+		case netlist.Const0:
+			t.forms[sid] = form{}
+		case netlist.Const1:
+			t.forms[sid] = form{c: true}
+		}
+	}
+	fanins := make([]form, 0, 8)
+	for _, sid := range v.Order {
+		g := nl.Gate(sid)
+		fanins = fanins[:0]
+		for _, f := range g.Fanin {
+			fanins = append(fanins, t.forms[f])
+		}
+		t.forms[sid] = evalAffine(g.Type, fanins)
+	}
+}
+
+// evalAffine applies one gate to affine operands.
+func evalAffine(gt netlist.GateType, fs []form) form {
+	switch gt {
+	case netlist.Input, netlist.Const0, netlist.Const1:
+		// Sources are assigned before the topological walk; reaching one
+		// here means the walk order included it redundantly.
+		panic(fmt.Sprintf("insight: source gate %v in topological order", gt))
+	case netlist.Buf:
+		return fs[0]
+	case netlist.Not:
+		return not(fs[0])
+	case netlist.And:
+		return andAll(fs)
+	case netlist.Nand:
+		return not(andAll(fs))
+	case netlist.Or:
+		return orAll(fs)
+	case netlist.Nor:
+		return not(orAll(fs))
+	case netlist.Xor, netlist.Xnor:
+		acc := form{}
+		for _, f := range fs {
+			acc = xor2(acc, f)
+		}
+		if gt == netlist.Xnor {
+			acc = not(acc)
+		}
+		return acc
+	case netlist.Mux:
+		sel, d0, d1 := fs[0], fs[1], fs[2]
+		if sel.isConst() {
+			if sel.c {
+				return d1
+			}
+			return d0
+		}
+		if d0.equal(d1) {
+			return d0
+		}
+		return formTop
+	default:
+		panic(fmt.Sprintf("insight: cannot evaluate gate type %v", gt))
+	}
+}

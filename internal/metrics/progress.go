@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -116,7 +115,7 @@ func (p *Progress) emit() {
 	props := sum(MetricSatPropagations)
 	learntDB := sum(MetricSatLearntDB)
 	cycles := sum(MetricOracleCycles)
-	rss := ReadRSS()
+	rss, rssOK := ReadRSS()
 
 	p.mu.Lock()
 	dt := now.Sub(p.lastT).Seconds()
@@ -128,11 +127,11 @@ func (p *Progress) emit() {
 	p.lastT, p.lastConf, p.lastProp = now, conflicts, props
 	p.mu.Unlock()
 
-	fmt.Fprintf(p.w, "progress: iters=%.0f conflicts=%s (%s/s) props=%s (%s/s) learnt=%.0f cycles=%s rss=%s\n",
+	line := fmt.Sprintf("progress: iters=%.0f conflicts=%s (%s/s) props=%s (%s/s) learnt=%.0f cycles=%s",
 		iters, humanCount(conflicts), humanCount(confRate),
 		humanCount(props), humanCount(propRate),
-		learntDB, humanCount(cycles), humanBytes(rss))
-	p.tr.Emit(trace.Event{Type: "snapshot", Fields: map[string]any{
+		learntDB, humanCount(cycles))
+	fields := map[string]any{
 		"iterations":      iters,
 		"conflicts":       conflicts,
 		"conflicts_per_s": confRate,
@@ -140,8 +139,30 @@ func (p *Progress) emit() {
 		"props_per_s":     propRate,
 		"learnt_db":       learntDB,
 		"oracle_cycles":   cycles,
-		"rss_bytes":       rss,
-	}})
+	}
+	if rssOK {
+		line += " rss=" + humanBytes(rss)
+		fields["rss_bytes"] = rss
+	}
+	// Seed-space progress, when an insight tracker publishes it: the
+	// certified rank over its analytic ceiling, the surviving seed-space
+	// exponent, and the DIP-rate ETA (absent until the first rank gain).
+	if rank, ok := p.reg.Sum(MetricInsightRank); ok {
+		target, _ := p.reg.Sum(MetricInsightRankTarget)
+		line += fmt.Sprintf(" rank=%.0f/%.0f", rank, target)
+		fields["rank"] = rank
+		fields["rank_target"] = target
+		if seeds, ok := p.reg.Sum(MetricInsightSeedsLog2); ok {
+			line += fmt.Sprintf(" seeds=2^%.0f", seeds)
+			fields["seeds_log2"] = seeds
+		}
+		if eta, ok := p.reg.Sum(MetricInsightETA); ok && rank < target {
+			line += " eta=" + time.Duration(eta*float64(time.Second)).Round(time.Second).String()
+			fields["eta_s"] = eta
+		}
+	}
+	fmt.Fprintln(p.w, line)
+	p.tr.Emit(trace.Event{Type: "snapshot", Fields: fields})
 }
 
 // humanCount renders a count compactly (1234 -> "1.2k").
@@ -173,20 +194,30 @@ func humanBytes(v uint64) string {
 }
 
 // ReadRSS returns the process resident set size in bytes, read from
-// /proc/self/statm where available (Linux) and falling back to the Go
-// runtime's OS-reserved memory elsewhere.
-func ReadRSS() uint64 {
-	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
-		fields := strings.Fields(string(b))
-		if len(fields) >= 2 {
-			if pages, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
-				return pages * uint64(os.Getpagesize())
-			}
-		}
+// /proc/self/statm. ok is false when RSS sampling is unavailable —
+// non-Linux platforms, restricted procfs, or malformed statm content —
+// and callers omit the value rather than publishing a misleading one.
+func ReadRSS() (rss uint64, ok bool) {
+	return readRSSFrom("/proc/self/statm")
+}
+
+// readRSSFrom parses a statm-format file: whitespace-separated fields
+// with resident pages second. Split out from ReadRSS so the degraded
+// paths are unit-testable without faking a platform.
+func readRSSFrom(path string) (rss uint64, ok bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return ms.Sys
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return pages * uint64(os.Getpagesize()), true
 }
 
 // ProgressFlag is a flag.Value for -progress[=interval]: a bare -progress

@@ -3,6 +3,8 @@ package metrics
 import (
 	"bytes"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -94,8 +96,94 @@ func TestProgressFlag(t *testing.T) {
 }
 
 func TestReadRSS(t *testing.T) {
-	if ReadRSS() == 0 {
-		t.Fatal("RSS must be nonzero")
+	// On Linux procfs is available; elsewhere the call must report
+	// unavailability rather than a zero value.
+	if rss, ok := ReadRSS(); ok && rss == 0 {
+		t.Fatal("available RSS must be nonzero")
+	}
+}
+
+func TestReadRSSFromDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Missing file: the non-Linux / restricted-procfs case.
+	if _, ok := readRSSFrom(filepath.Join(dir, "absent")); ok {
+		t.Fatal("missing statm must report unavailable")
+	}
+	// Truncated and malformed content must not be mistaken for data.
+	if _, ok := readRSSFrom(write("short", "12345")); ok {
+		t.Fatal("one-field statm must report unavailable")
+	}
+	if _, ok := readRSSFrom(write("garbled", "12345 notanumber 7")); ok {
+		t.Fatal("non-numeric resident field must report unavailable")
+	}
+	// Well-formed content converts pages to bytes.
+	rss, ok := readRSSFrom(write("good", "9999 123 45"))
+	if !ok || rss != 123*uint64(os.Getpagesize()) {
+		t.Fatalf("readRSSFrom = %d, %v; want %d pages in bytes", rss, ok, 123)
+	}
+}
+
+// TestProgressOmitsRSSWhenUnavailable pins the degraded rendering: no
+// "rss=" token in the line and no rss_bytes snapshot field. The emit
+// path is exercised indirectly by rendering with a registry only — the
+// rss presence branch is driven by ReadRSS, so this asserts both
+// renderings stay consistent with its availability report.
+func TestProgressOmitsRSSWhenUnavailable(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	col := trace.NewCollector()
+	p := NewProgress(r, time.Hour, &buf, trace.New(col))
+	p.Start()
+	p.Stop()
+	_, avail := ReadRSS()
+	gotLine := strings.Contains(buf.String(), "rss=")
+	_, gotField := col.Events()[0].Fields["rss_bytes"]
+	if gotLine != avail || gotField != avail {
+		t.Fatalf("rss availability %v but line-has-rss=%v field-has-rss=%v",
+			avail, gotLine, gotField)
+	}
+}
+
+// TestProgressRendersInsightGauges pins the extended line: rank, seed
+// space, and ETA appear once the insight gauges exist and stay absent
+// otherwise (the plain registry case is covered above — those lines
+// contain no "rank=").
+func TestProgressRendersInsightGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(MetricInsightRank).Set(5)
+	r.Gauge(MetricInsightRankTarget).Set(12)
+	r.Gauge(MetricInsightSeedsLog2).Set(123)
+	r.Gauge(MetricInsightETA).Set(90)
+	var buf bytes.Buffer
+	col := trace.NewCollector()
+	p := NewProgress(r, time.Hour, &buf, trace.New(col))
+	p.Start()
+	p.Stop()
+	line := buf.String()
+	for _, want := range []string{"rank=5/12", "seeds=2^123", "eta=1m30s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %q", want, line)
+		}
+	}
+	f := col.Events()[0].Fields
+	if f["rank"].(float64) != 5 || f["seeds_log2"].(float64) != 123 || f["eta_s"].(float64) != 90 {
+		t.Fatalf("snapshot insight fields wrong: %v", f)
+	}
+	// At target rank the ETA token disappears (the run is rank-complete).
+	r.Gauge(MetricInsightRank).Set(12)
+	buf.Reset()
+	q := NewProgress(r, time.Hour, &buf, nil)
+	q.Start()
+	q.Stop()
+	if strings.Contains(buf.String(), "eta=") {
+		t.Fatalf("eta must vanish at target rank: %q", buf.String())
 	}
 }
 

@@ -99,7 +99,9 @@ func (s *Server) refreshProcessGauges() {
 	runtime.ReadMemStats(&ms)
 	s.reg.Gauge(MetricProcessHeap).Set(float64(ms.HeapAlloc))
 	s.reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
-	s.reg.Gauge(MetricProcessRSS).Set(float64(ReadRSS()))
+	if rss, ok := ReadRSS(); ok {
+		s.reg.Gauge(MetricProcessRSS).Set(float64(rss))
+	}
 }
 
 // serveVars renders the expvar-compatible JSON document. It mirrors the

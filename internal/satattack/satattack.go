@@ -126,6 +126,30 @@ type Options struct {
 // DIPObserver receives one callback per DIP iteration (see Options.OnDIP).
 type DIPObserver func(iteration int, dip, resp []bool, stats sat.Stats, solveTime time.Duration)
 
+// ChainObservers composes DIP observers into one that invokes each in
+// order (the flight recorder first, then the insight tracker, …). Nil
+// entries are dropped; the result is nil when none remain, preserving
+// the OnDIP == nil fast path.
+func ChainObservers(obs ...DIPObserver) DIPObserver {
+	live := obs[:0:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(iteration int, dip, resp []bool, stats sat.Stats, solveTime time.Duration) {
+		for _, o := range live {
+			o(iteration, dip, resp, stats, solveTime)
+		}
+	}
+}
+
 // StopReason classifies why an attack stopped before completing.
 type StopReason string
 
