@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "s5378", "benchmark name (s5378 s13207 s15850 s38584 s38417 s35932 b20 b21 b22 b17)")
+		benchName = flag.String("bench", "s5378", "benchmark name (s5378 s13207 s15850 s38584 s38417 s35932 b20 b21 b22 b17, or affine for the linear reference core)")
 		keyBits   = flag.Int("keybits", 128, "key register width")
 		policyStr = flag.String("policy", "percycle", "key update policy: static | perpattern | percycle")
 		period    = flag.Int("period", 1, "pattern period for -policy perpattern")
@@ -51,6 +51,8 @@ func main() {
 		seedBase  = flag.Int64("seed", 1, "base RNG seed for the chip secrets")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = unlimited)")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
+		nativeXor = flag.Bool("native-xor", true, "encode XOR gates as native GF(2) solver rows instead of Tseitin CNF")
+		analytic  = flag.Bool("analytic", false, "feed certified insight constraints back into the solver and short-circuit at full key rank")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write a flight-recorder bundle (manifest, oracle/DIP transcripts, trace, metrics, result) to this directory")
 		profile   = flag.Bool("profile", false, "capture CPU and heap pprof profiles into the -record bundle (requires -record)")
@@ -64,8 +66,8 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		tb := report.New("Available benchmarks (paper Table II)", "Name", "Suite", "# Scan flops", "PIs", "POs")
-		for _, e := range bench.Table2 {
+		tb := report.New("Available benchmarks (paper Table II + affine reference)", "Name", "Suite", "# Scan flops", "PIs", "POs")
+		for _, e := range append(append([]bench.Entry(nil), bench.Table2...), bench.AffineRef) {
 			tb.AddRow(e.Name, e.Suite, e.FFs, e.PIs, e.POs)
 		}
 		tb.Render(os.Stdout)
@@ -81,6 +83,8 @@ func main() {
 		EnumerateLimit: *limit,
 		MaxIterations:  *maxIters,
 		SeedBase:       *seedBase,
+		NativeXor:      *nativeXor,
+		Analytic:       *analytic,
 	}
 	switch strings.ToLower(*policyStr) {
 	case "static":

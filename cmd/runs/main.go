@@ -130,8 +130,8 @@ func cmdShow(args []string, stdout, stderr io.Writer) int {
 	if m.Fingerprint.GitCommit != "" {
 		fmt.Fprintf(stdout, "commit      %s\n", m.Fingerprint.GitCommit)
 	}
-	fmt.Fprintf(stdout, "experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d\n",
-		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase)
+	fmt.Fprintf(stdout, "experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d nativexor=%v analytic=%v\n",
+		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase, m.NativeXor, m.Analytic)
 	if len(m.Profiles) > 0 {
 		fmt.Fprintf(stdout, "profiles    %v\n", m.Profiles)
 	}
@@ -270,7 +270,14 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 }
 
 func cfgString(r flight.BenchRow) string {
-	return fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
+	s := fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
+	if r.NativeXor {
+		s += " xor"
+	}
+	if r.Analytic {
+		s += " analytic"
+	}
+	return s
 }
 
 // stageDiffTable sums span durations per stage for each bundle and lines

@@ -4,6 +4,10 @@
 // attack stands on — and doubles as a consumer for the per-iteration CNF
 // dumps that satattack.Options.DumpCNF produces.
 //
+// Input may contain cryptominisat-style XOR clauses ("x 1 -2 3 0" asserts
+// x1 ⊕ ¬x2 ⊕ x3 = 1); they are solved by the native GF(2) propagator
+// rather than a CNF expansion.
+//
 // Usage:
 //
 //	satsolve formula.cnf
@@ -46,9 +50,10 @@ func main() {
 	s.AddFormula(formula)
 	st := s.Solve()
 	if *stats {
-		fmt.Fprintf(os.Stderr, "c vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d\n",
-			formula.NumVars, len(formula.Clauses), s.Stats.Conflicts,
-			s.Stats.Decisions, s.Stats.Propagations, s.Stats.Restarts)
+		fmt.Fprintf(os.Stderr, "c vars=%d clauses=%d xors=%d conflicts=%d decisions=%d propagations=%d restarts=%d xor-propagations=%d xor-conflicts=%d\n",
+			formula.NumVars, len(formula.Clauses), len(formula.Xors), s.Stats.Conflicts,
+			s.Stats.Decisions, s.Stats.Propagations, s.Stats.Restarts,
+			s.Stats.XorPropagations, s.Stats.XorConflicts)
 	}
 	switch st {
 	case sat.Sat:

@@ -51,6 +51,8 @@ func main() {
 		portfolio = flag.Int("portfolio", 1, "diversified solver instances racing each SAT call")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget shared by the whole table sweep (0 = unlimited); completed conditions are still rendered")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
+		nativeXor = flag.Bool("native-xor", true, "encode XOR gates as native GF(2) solver rows instead of Tseitin CNF")
+		analytic  = flag.Bool("analytic", false, "feed certified insight constraints back into the solver and short-circuit at full key rank")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write one flight-recorder bundle per table condition under this directory (tables 2 and 3)")
 		profile   = flag.Bool("profile", false, "capture CPU and heap pprof profiles into each condition's bundle (requires -record and -parallel 1)")
@@ -132,13 +134,14 @@ func main() {
 	start := time.Now()
 	var rows []condRow
 	var err error
+	variant := attackVariant{nativeXor: *nativeXor, analytic: *analytic}
 	switch *table {
 	case 1:
-		rows, err = table1(ctx, *scale, *portfolio, workers, logw)
+		rows, err = table1(ctx, *scale, *portfolio, workers, variant, logw)
 	case 2:
-		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, *profile, reg, logw)
+		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, logw)
 	case 3:
-		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, *profile, reg, logw)
+		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
@@ -219,6 +222,13 @@ func writeJSON(path string, rep *jsonReport) error {
 	return f.Close()
 }
 
+// attackVariant carries the solver-encoding selection (-native-xor,
+// -analytic) into every table condition.
+type attackVariant struct {
+	nativeXor bool
+	analytic  bool
+}
+
 func policyName(p dynunlock.Policy) string {
 	switch p {
 	case dynunlock.Static:
@@ -264,7 +274,7 @@ func rowFromExperiment(table string, res *dynunlock.ExperimentResult, elapsed ti
 
 // table1 reproduces the evolution table: each defense family attacked by
 // the technique that broke it, demonstrated live on one mid-size circuit.
-func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) ([]condRow, error) {
+func table1(ctx context.Context, scale, portfolio, workers int, variant attackVariant, logw io.Writer) ([]condRow, error) {
 	type cond struct {
 		defense, obfType, attackName string
 		policy                       dynunlock.Policy
@@ -285,7 +295,8 @@ func table1(ctx context.Context, scale, portfolio, workers int, logw io.Writer) 
 		return ok && res.Converged, len(res.KeyCandidates), res.Iterations, nil
 	}
 	dynUnlock := func(ctx context.Context, chip *oracle.Chip) (bool, int, int, error) {
-		res, err := core.AttackCtx(ctx, chip, core.Options{Portfolio: portfolio, EnumerateLimit: 256, Log: logw})
+		res, err := core.AttackCtx(ctx, chip, core.Options{
+			Portfolio: portfolio, EnumerateLimit: 256, NativeXor: variant.nativeXor, Log: logw})
 		if err != nil {
 			return false, 0, 0, err
 		}
@@ -389,7 +400,7 @@ func recordCondition(ctx context.Context, dir, name string, profile bool, reg *m
 }
 
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, profile bool, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
@@ -411,6 +422,8 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 			Portfolio:     portfolio,
 			MaxIterations: maxIters,
 			SeedBase:      100,
+			NativeXor:     variant.nativeXor,
+			Analytic:      variant.analytic,
 			Log:           logw,
 		}
 		var finish func() error
@@ -451,7 +464,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, profile bool, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
@@ -483,6 +496,8 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 			Portfolio:     portfolio,
 			MaxIterations: maxIters,
 			SeedBase:      int64(c.kb),
+			NativeXor:     variant.nativeXor,
+			Analytic:      variant.analytic,
 			Log:           logw,
 		}
 		var finish func() error

@@ -75,6 +75,17 @@ type ExperimentConfig struct {
 	// SeedBase derives the per-trial secrets; experiments with the same
 	// base are reproducible.
 	SeedBase int64
+	// NativeXor encodes XOR gates as native GF(2) solver rows instead of
+	// Tseitin CNF (see core.Options.NativeXor). The CLIs default it on;
+	// the zero value keeps the pure-CNF encoding so bundles recorded
+	// before the XOR layer replay bit-identically.
+	NativeXor bool
+	// Analytic closes the insight feedback loop: the tracker's certified
+	// seed constraints are injected into the SAT solver after each DIP and
+	// the attack short-circuits analytically once they reach full key rank
+	// (see core.Options.Insight). Implies running the insight tracker even
+	// without metrics or tracing sinks.
+	Analytic bool
 	// Recorder, when non-nil, captures the experiment as a flight-recorder
 	// bundle: the manifest is written from the resolved design, every scan
 	// session and DIP iteration streams into the bundle, and each trial's
@@ -95,6 +106,9 @@ type TrialResult struct {
 	Exact      bool
 	Converged  bool
 	Verified   bool
+	// Analytic reports the trial ended via the insight rank-k short-circuit
+	// rather than SAT convergence (see core.Result.Analytic).
+	Analytic bool
 	// Success is the paper's criterion: the programmed secret seed is in
 	// the recovered candidate set.
 	Success bool
@@ -298,6 +312,8 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			EnumerateLimit: cfg.EnumerateLimit,
 			MaxIterations:  cfg.MaxIterations,
 			SeedBase:       cfg.SeedBase,
+			NativeXor:      cfg.NativeXor,
+			Analytic:       cfg.Analytic,
 			Lock:           flight.LockInfoFor(design),
 			Fingerprint:    flight.NewFingerprint(),
 		}); err != nil {
@@ -318,6 +334,7 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			Portfolio:      cfg.Portfolio,
 			EnumerateLimit: cfg.EnumerateLimit,
 			MaxIterations:  cfg.MaxIterations,
+			NativeXor:      cfg.NativeXor,
 			Log:            cfg.Log,
 		}
 		var atkChip core.Chip = chip
@@ -327,12 +344,17 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		}
 		// Seed-space insight rides the same OnDIP hook whenever telemetry
 		// is live: a registry or trace sink on ctx turns the tracker on, no
-		// sinks leaves the hot loop untouched. A tracker setup failure
-		// (e.g. a nonlinear PRNG the linear model refuses) degrades to an
-		// untracked run rather than failing the attack.
-		if mh := metrics.From(ctx); mh != nil || tr.Enabled() {
+		// sinks leaves the hot loop untouched. Analytic mode forces the
+		// tracker on and additionally feeds its certified rows back into
+		// the solver. A tracker setup failure (e.g. a nonlinear PRNG the
+		// linear model refuses) degrades to an untracked (and non-analytic)
+		// run rather than failing the attack.
+		if mh := metrics.From(ctx); mh != nil || tr.Enabled() || cfg.Analytic {
 			if tk, err := insight.New(design, insight.Options{Metrics: mh, Tracer: tr}); err == nil {
 				opts.OnDIP = satattack.ChainObservers(opts.OnDIP, tk.DIPObserver())
+				if cfg.Analytic {
+					opts.Insight = tk
+				}
 			} else if cfg.Log != nil {
 				fmt.Fprintf(cfg.Log, "insight tracker disabled: %v\n", err)
 			}
@@ -351,6 +373,7 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			Exact:       atk.Exact,
 			Converged:   atk.Converged,
 			Verified:    atk.Verified,
+			Analytic:    atk.Analytic,
 			Success:     core.ContainsSeed(atk.SeedCandidates, chip.SecretSeed()),
 			SolverStats: atk.SolverStats,
 			Stopped:     atk.Stopped,

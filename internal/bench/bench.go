@@ -122,15 +122,104 @@ func min(a, b int) int {
 	return b
 }
 
+// GenerateAffine builds a purely linear sequential netlist: every
+// combinational gate is XOR, XNOR, or NOT, so each flip-flop next-state and
+// each primary output is an affine function of the present state and
+// inputs. This is the XOR-dominated extreme of the DynUnlock threat model —
+// hardware whose scan responses stay affine in the LFSR seed — and the
+// reference point where GF(2)-native solving should collapse the attack to
+// linear algebra (insight rank saturates, the analytic short-circuit
+// fires). Layout mirrors Generate: a gate pool over PIs and flop outputs,
+// next-states and outputs drawn from the pool.
+func GenerateAffine(cfg GenConfig) (*netlist.Netlist, error) {
+	if cfg.PIs < 1 || cfg.POs < 1 || cfg.FFs < 2 {
+		return nil, fmt.Errorf("bench: need >=1 PI, >=1 PO, >=2 FFs, got %d/%d/%d", cfg.PIs, cfg.POs, cfg.FFs)
+	}
+	if cfg.Gates < cfg.FFs {
+		cfg.Gates = 4 * cfg.FFs
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := netlist.New(cfg.Name)
+
+	sources := make([]netlist.SignalID, 0, cfg.PIs+cfg.FFs)
+	for i := 0; i < cfg.PIs; i++ {
+		id, err := n.AddInput(fmt.Sprintf("pi%d", i))
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, id)
+	}
+	dNames := make([]string, cfg.FFs)
+	for i := 0; i < cfg.FFs; i++ {
+		dNames[i] = fmt.Sprintf("d%d", i)
+		d := n.Ref(dNames[i])
+		q, err := n.AddDFF(fmt.Sprintf("q%d", i), d)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, q)
+	}
+
+	pool := append([]netlist.SignalID(nil), sources...)
+	gates := make([]netlist.SignalID, 0, cfg.Gates)
+	for i := 0; i < cfg.Gates; i++ {
+		a := pool[rng.Intn(len(pool))]
+		var (
+			id  netlist.SignalID
+			err error
+		)
+		if i%7 == 6 {
+			id, err = n.AddGate(fmt.Sprintf("g%d", i), netlist.Not, a)
+		} else {
+			t := netlist.Xor
+			if i%3 == 1 {
+				t = netlist.Xnor
+			}
+			b := pool[len(pool)-1-rng.Intn(min(len(pool), 8+len(pool)/4))]
+			if a == b {
+				b = pool[rng.Intn(len(pool))]
+			}
+			id, err = n.AddGate(fmt.Sprintf("g%d", i), t, a, b)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, id)
+		gates = append(gates, id)
+	}
+
+	// Purely linear next-state taps: d = g XOR q. Generate deliberately
+	// avoids this shape so the paper benchmarks stay non-linear; here the
+	// linearity is the point under study.
+	for i := 0; i < cfg.FFs; i++ {
+		src := gates[rng.Intn(len(gates))]
+		q := sources[cfg.PIs+(i+1)%cfg.FFs]
+		if _, err := n.AddGate(dNames[i], netlist.Xor, src, q); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.POs; i++ {
+		n.MarkOutput(gates[rng.Intn(len(gates))])
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generated affine netlist invalid: %w", err)
+	}
+	return n, nil
+}
+
 // Entry describes one paper benchmark and the synthetic stand-in
 // configuration used to reproduce it.
 type Entry struct {
 	Name  string
-	Suite string // "ISCAS-89" or "ITC-99"
+	Suite string // "ISCAS-89", "ITC-99", or "affine" for the linear reference core
 	FFs   int    // post-synthesis scan flops, from Table II
 	PIs   int
 	POs   int
 	Gates int
+	// Affine selects the purely linear generator (GenerateAffine); the
+	// entry then models XOR-dominated hardware rather than a Table II
+	// netlist.
+	Affine bool
 }
 
 // Table2 lists the ten benchmarks of the paper's Table II with their
@@ -148,12 +237,24 @@ var Table2 = []Entry{
 	{Name: "b17", Suite: "ITC-99", FFs: 864, PIs: 37, POs: 97, Gates: 6800},
 }
 
-// ByName returns the Table II entry with the given name.
+// AffineRef is the linear reference core: an XOR/XNOR-only netlist sized
+// like the smaller Table II circuits. It is not a paper benchmark — it is
+// the XOR-dominated limit case of the threat model, used to demonstrate
+// the CNF-vs-native-GF(2) crossover in the benchmark ledger.
+var AffineRef = Entry{
+	Name: "affine", Suite: "affine", FFs: 160, PIs: 35, POs: 49, Gates: 1200, Affine: true,
+}
+
+// ByName returns the Table II entry — or the affine reference core — with
+// the given name.
 func ByName(name string) (Entry, bool) {
 	for _, e := range Table2 {
 		if e.Name == name {
 			return e, true
 		}
+	}
+	if name == AffineRef.Name {
+		return AffineRef, true
 	}
 	return Entry{}, false
 }
@@ -162,14 +263,18 @@ func ByName(name string) (Entry, bool) {
 // circuit is deterministic per (entry, variant): variant selects among
 // structurally different instances for multi-trial averaging.
 func (e Entry) Build(variant int64) (*netlist.Netlist, error) {
-	return Generate(GenConfig{
+	cfg := GenConfig{
 		Name:  e.Name,
 		PIs:   e.PIs,
 		POs:   e.POs,
 		FFs:   e.FFs,
 		Gates: e.Gates,
 		Seed:  hashSeed(e.Name) + variant,
-	})
+	}
+	if e.Affine {
+		return GenerateAffine(cfg)
+	}
+	return Generate(cfg)
 }
 
 func hashSeed(name string) int64 {

@@ -143,3 +143,34 @@ func TestS208F(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerateAffineIsLinear(t *testing.T) {
+	n, err := GenerateAffine(GenConfig{Name: "aff", PIs: 4, POs: 4, FFs: 16, Gates: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.PIs != 4 || st.POs != 4 || st.DFFs != 16 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Every combinational gate must be GF(2)-affine: the whole point of the
+	// affine reference core is that scan responses stay linear in the seed.
+	for id := 0; id < n.NumSignals(); id++ {
+		switch tp := n.Type(netlist.SignalID(id)); tp {
+		case netlist.Input, netlist.DFF, netlist.Const0, netlist.Const1,
+			netlist.Buf, netlist.Not, netlist.Xor, netlist.Xnor:
+		default:
+			t.Fatalf("non-affine gate %s (%v)", n.SignalName(netlist.SignalID(id)), tp)
+		}
+	}
+}
+
+func TestByNameAffineRef(t *testing.T) {
+	e, ok := ByName("affine")
+	if !ok || !e.Affine {
+		t.Fatalf("affine reference not resolvable: %+v ok=%v", e, ok)
+	}
+	if _, err := e.Scaled(16).Build(0); err != nil {
+		t.Fatalf("scaled affine build: %v", err)
+	}
+}

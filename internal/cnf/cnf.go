@@ -60,10 +60,18 @@ func (l Lit) String() string { return strconv.Itoa(l.Dimacs()) }
 // Clause is a disjunction of literals.
 type Clause []Lit
 
-// Formula is a CNF formula: a conjunction of clauses over NumVars variables.
+// XorClause is a parity constraint: the XOR of the literal values must be
+// true. Negating a literal flips the constraint's parity, matching the
+// cryptominisat "x ..." DIMACS extension — `x 1 2 0` means x1 ⊕ x2 = 1 and
+// `x -1 2 0` means x1 ⊕ x2 = 0.
+type XorClause []Lit
+
+// Formula is a CNF-XOR formula: a conjunction of clauses and parity
+// constraints over NumVars variables.
 type Formula struct {
 	NumVars int
 	Clauses []Clause
+	Xors    []XorClause
 }
 
 // NewVar allocates a fresh variable and returns its index.
@@ -85,6 +93,19 @@ func (f *Formula) Add(lits ...Lit) {
 	f.Clauses = append(f.Clauses, c)
 }
 
+// AddXor appends a parity constraint (copying the literals) and grows
+// NumVars as needed.
+func (f *Formula) AddXor(lits ...Lit) {
+	x := make(XorClause, len(lits))
+	copy(x, lits)
+	for _, l := range lits {
+		if l.Var() >= f.NumVars {
+			f.NumVars = l.Var() + 1
+		}
+	}
+	f.Xors = append(f.Xors, x)
+}
+
 // Eval reports whether assignment (indexed by variable) satisfies f.
 func (f *Formula) Eval(assign []bool) bool {
 	for _, c := range f.Clauses {
@@ -99,30 +120,53 @@ func (f *Formula) Eval(assign []bool) bool {
 			return false
 		}
 	}
+	for _, x := range f.Xors {
+		parity := false
+		for _, l := range x {
+			if assign[l.Var()] != l.Sign() {
+				parity = !parity
+			}
+		}
+		if !parity {
+			return false
+		}
+	}
 	return true
 }
 
-// WriteDimacs emits the formula in DIMACS CNF format.
+// WriteDimacs emits the formula in DIMACS CNF format. Parity constraints
+// are emitted as cryptominisat "x ..." lines and counted in the problem
+// line's clause total, matching that solver's convention.
 func (f *Formula) WriteDimacs(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)+len(f.Xors))
 	for _, c := range f.Clauses {
 		for _, l := range c {
 			fmt.Fprintf(bw, "%d ", l.Dimacs())
 		}
 		fmt.Fprintln(bw, 0)
 	}
+	for _, x := range f.Xors {
+		bw.WriteString("x")
+		for _, l := range x {
+			fmt.Fprintf(bw, " %d", l.Dimacs())
+		}
+		fmt.Fprintln(bw, " 0")
+	}
 	return bw.Flush()
 }
 
 // ParseDimacs reads a DIMACS CNF file. Comment lines (c …) and the problem
 // line are handled; %-terminated files (some SATLIB archives) are accepted.
+// Lines starting with "x" carry cryptominisat-style XOR clauses ("x 1 2 0",
+// with "x1 2 0" also tolerated) and populate Formula.Xors.
 func ParseDimacs(r io.Reader) (*Formula, error) {
 	f := &Formula{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	declaredVars, declaredClauses := -1, -1
 	var cur Clause
+	inXor := false
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -146,13 +190,28 @@ func ParseDimacs(r io.Reader) (*Formula, error) {
 			}
 			continue
 		}
+		if strings.HasPrefix(line, "x") {
+			if len(cur) > 0 {
+				return nil, fmt.Errorf("dimacs:%d: xor line inside an open clause", lineNo)
+			}
+			inXor = true
+			line = strings.TrimSpace(line[1:])
+			if line == "" {
+				continue
+			}
+		}
 		for _, tok := range strings.Fields(line) {
 			v, err := strconv.Atoi(tok)
 			if err != nil {
 				return nil, fmt.Errorf("dimacs:%d: bad literal %q", lineNo, tok)
 			}
 			if v == 0 {
-				f.Add(cur...)
+				if inXor {
+					f.AddXor(cur...)
+					inXor = false
+				} else {
+					f.Add(cur...)
+				}
 				cur = cur[:0]
 				continue
 			}
@@ -163,7 +222,11 @@ func ParseDimacs(r io.Reader) (*Formula, error) {
 		return nil, fmt.Errorf("dimacs: read: %w", err)
 	}
 	if len(cur) > 0 {
-		f.Add(cur...)
+		if inXor {
+			f.AddXor(cur...)
+		} else {
+			f.Add(cur...)
+		}
 	}
 	if declaredVars > f.NumVars {
 		f.NumVars = declaredVars

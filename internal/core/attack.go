@@ -80,6 +80,19 @@ type Options struct {
 	// satattack.Options.OnDIP). The flight recorder installs it to persist
 	// the per-iteration transcript; nil keeps the hot loop untouched.
 	OnDIP satattack.DIPObserver
+	// NativeXor encodes XOR gates as native GF(2) solver rows instead of
+	// Tseitin clauses (see satattack.Options.NativeXor). Off by default so
+	// committed flight bundles replay bit-identically.
+	NativeXor bool
+	// Insight, when non-nil, is a seed-space constraint source (the
+	// internal/insight tracker) whose certified rows are fed back into the
+	// solver after each DIP and which arms the analytic rank-k
+	// short-circuit (see satattack.Options.Insight). The source must
+	// address seed bits: ModeDirect passes it through unchanged, ModeLinear
+	// translates its rows into the mask key space. It must also be wired
+	// into OnDIP (satattack.ChainObservers with the tracker's DIPObserver)
+	// so it actually observes the responses.
+	Insight satattack.InsightSource
 }
 
 // Result reports a DynUnlock run.
@@ -97,6 +110,10 @@ type Result struct {
 	Queries int
 	// Converged reports miter-UNSAT convergence.
 	Converged bool
+	// Analytic reports that the insight feedback loop reached full key rank
+	// and the key was recovered by GF(2) back-substitution, short-circuiting
+	// the remaining SAT iterations (see satattack.Result.Analytic).
+	Analytic bool
 	// Rank is rank([A;B]); PredictedLog2 = keyBits − Rank is the analytic
 	// candidate-count exponent.
 	Rank          int
@@ -204,6 +221,7 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		ConflictBudget: opts.ConflictBudget,
 		Log:            opts.Log,
 		OnDIP:          opts.OnDIP,
+		NativeXor:      opts.NativeXor,
 	}
 
 	res := &Result{Mode: opts.Mode}
@@ -224,12 +242,16 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 			fmt.Fprintf(opts.Log, "direct model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
 				model.Netlist.Stats(), res.Rank, res.PredictedLog2)
 		}
+		// Direct mode searches the seed space itself: the tracker's
+		// seed-bit constraints are key-bit constraints verbatim.
+		saOpts.Insight = opts.Insight
 		saRes, err := satattack.RunCtx(ctx, model.Locked, adapter, saOpts)
 		if err != nil {
 			return nil, err
 		}
 		res.Iterations = saRes.Iterations
 		res.Converged = saRes.Converged
+		res.Analytic = saRes.Analytic
 		res.Exact = saRes.CandidatesExact
 		res.SolverStats = saRes.SolverStats
 		res.InstanceStats = saRes.InstanceStats
@@ -260,12 +282,18 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 			fmt.Fprintf(opts.Log, "mask model: %s; rank[A;B]=%d predicted candidates=2^%d\n",
 				mm.Netlist.Stats(), res.Rank, res.PredictedLog2)
 		}
+		// Linear mode searches the mask space, so the tracker's seed-bit
+		// rows must be re-expressed over the mask key bits first.
+		if opts.Insight != nil {
+			saOpts.Insight = newMaskInsight(mm, opts.Insight)
+		}
 		saRes, err := satattack.RunCtx(ctx, mm.Locked, adapter, saOpts)
 		if err != nil {
 			return nil, err
 		}
 		res.Iterations = saRes.Iterations
 		res.Converged = saRes.Converged
+		res.Analytic = saRes.Analytic
 		res.SolverStats = saRes.SolverStats
 		res.InstanceStats = saRes.InstanceStats
 		res.InstanceWins = saRes.InstanceWins
@@ -333,6 +361,7 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		"candidates":      len(res.SeedCandidates),
 		"exact":           res.Exact,
 		"converged":       res.Converged,
+		"analytic":        res.Analytic,
 		"verified":        res.Verified,
 		"rank":            res.Rank,
 		"oracle_sessions": oracleSessions,

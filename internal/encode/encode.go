@@ -25,8 +25,20 @@ import (
 // mask XOR ladders) depend only on shared literals.
 type Encoder struct {
 	S       *sat.Solver
+	cfg     Config
 	trueLit cnf.Lit
 	cache   map[gateKey]cnf.Lit
+}
+
+// Config tunes the encoding. The zero value is the classic pure-CNF
+// Tseitin encoding, which keeps committed flight bundles replayable
+// bit-identically; CLIs opt into the native path explicitly.
+type Config struct {
+	// NativeXor emits XOR/XNOR gates (and therefore the DynUnlock
+	// seed-mask ladders) as native solver XOR rows via sat.Solver.AddXor
+	// instead of 4-clause Tseitin expansions, letting the GF(2) layer
+	// propagate parity by Gaussian elimination instead of CDCL search.
+	NativeXor bool
 }
 
 type gateKey struct {
@@ -46,11 +58,15 @@ const (
 )
 
 // New returns an encoder bound to s, allocating the constant-true variable.
-func New(s *sat.Solver) *Encoder {
+func New(s *sat.Solver) *Encoder { return NewWithConfig(s, Config{}) }
+
+// NewWithConfig returns an encoder bound to s with the given configuration,
+// allocating the constant-true variable.
+func NewWithConfig(s *sat.Solver, cfg Config) *Encoder {
 	v := s.NewVar()
 	t := cnf.MkLit(v, false)
 	s.AddClause(t)
-	return &Encoder{S: s, trueLit: t, cache: make(map[gateKey]cnf.Lit)}
+	return &Encoder{S: s, cfg: cfg, trueLit: t, cache: make(map[gateKey]cnf.Lit)}
 }
 
 func key(op uint8, a, b cnf.Lit) gateKey {
@@ -250,10 +266,15 @@ func (e *Encoder) Xor(a, b cnf.Lit) cnf.Lit {
 	z, ok := e.cache[k]
 	if !ok {
 		z = e.Fresh()
-		e.S.AddClause(z.Not(), a, b)
-		e.S.AddClause(z.Not(), a.Not(), b.Not())
-		e.S.AddClause(z, a.Not(), b)
-		e.S.AddClause(z, a, b.Not())
+		if e.cfg.NativeXor {
+			// z = a ⊕ b as one GF(2) row: z ⊕ a ⊕ b = 0.
+			e.S.AddXor([]cnf.Lit{z, a, b}, false)
+		} else {
+			e.S.AddClause(z.Not(), a, b)
+			e.S.AddClause(z.Not(), a.Not(), b.Not())
+			e.S.AddClause(z, a.Not(), b)
+			e.S.AddClause(z, a, b.Not())
+		}
 		e.cache[k] = z
 	}
 	if flip {

@@ -21,6 +21,8 @@ type BenchRow struct {
 	Policy            string  `json:"policy"`
 	Mode              string  `json:"mode"`
 	Portfolio         int     `json:"portfolio"`
+	NativeXor         bool    `json:"nativeXor,omitempty"`
+	Analytic          bool    `json:"analytic,omitempty"`
 	Trials            int     `json:"trials"`
 	AvgCandidates     float64 `json:"avgCandidates"`
 	AvgIterations     float64 `json:"avgIterations"`
@@ -54,6 +56,8 @@ func BenchRowFrom(b *Bundle) BenchRow {
 		Policy:     m.Lock.Policy,
 		Mode:       m.Mode,
 		Portfolio:  m.Portfolio,
+		NativeXor:  m.NativeXor,
+		Analytic:   m.Analytic,
 		Trials:     len(b.Result.Trials),
 		GoVersion:  m.Fingerprint.GoVersion,
 		Host:       m.Fingerprint.Host,
@@ -107,14 +111,17 @@ func (f *BenchFile) Write(path string) error {
 }
 
 // FindRow returns the ledger row matching a bundle's configuration
-// (benchmark, scale, key width, policy, mode, portfolio), for baseline
-// comparisons; ok is false when no row matches.
+// (benchmark, scale, key width, policy, mode, portfolio, encoding
+// variant), for baseline comparisons; ok is false when no row matches.
+// The encoding variant (nativeXor, analytic) is part of the key so CNF
+// and native-XOR runs of the same benchmark keep separate baselines.
 func (f *BenchFile) FindRow(row BenchRow) (BenchRow, bool) {
 	for i := len(f.Rows) - 1; i >= 0; i-- {
 		r := f.Rows[i]
 		if r.Benchmark == row.Benchmark && r.Scale == row.Scale &&
 			r.KeyBits == row.KeyBits && r.Policy == row.Policy &&
-			r.Mode == row.Mode && r.Portfolio == row.Portfolio {
+			r.Mode == row.Mode && r.Portfolio == row.Portfolio &&
+			r.NativeXor == row.NativeXor && r.Analytic == row.Analytic {
 			return r, true
 		}
 	}

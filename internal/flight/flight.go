@@ -77,6 +77,12 @@ type Manifest struct {
 	// SeedBase is the seed of record: every per-trial chip secret derives
 	// from it, so the whole experiment is reproducible from this one value.
 	SeedBase int64 `json:"seedBase"`
+	// NativeXor records that XOR gates were encoded as native GF(2) solver
+	// rows; Analytic that the insight feedback loop was armed. Both are
+	// optional additions within format version 2 — absent (older bundles)
+	// means off, and replay then reproduces the pure-CNF attack exactly.
+	NativeXor bool `json:"nativeXor,omitempty"`
+	Analytic  bool `json:"analytic,omitempty"`
 
 	Lock        LockInfo    `json:"lock"`
 	Fingerprint Fingerprint `json:"fingerprint"`
@@ -142,25 +148,31 @@ type DIPRecord struct {
 	SolveMS   float64     `json:"solveMS"` // wall time of the producing SAT call
 }
 
-// SolverStats mirrors sat.Stats with stable lowercase JSON names.
+// SolverStats mirrors sat.Stats with stable lowercase JSON names. The XOR
+// counters are zero (and omitted) on pure-CNF runs and on bundles recorded
+// before the native XOR layer existed.
 type SolverStats struct {
-	Decisions    uint64 `json:"decisions"`
-	Propagations uint64 `json:"propagations"`
-	Conflicts    uint64 `json:"conflicts"`
-	Restarts     uint64 `json:"restarts"`
-	Learnt       uint64 `json:"learnt"`
-	Removed      uint64 `json:"removed"`
+	Decisions       uint64 `json:"decisions"`
+	Propagations    uint64 `json:"propagations"`
+	Conflicts       uint64 `json:"conflicts"`
+	Restarts        uint64 `json:"restarts"`
+	Learnt          uint64 `json:"learnt"`
+	Removed         uint64 `json:"removed"`
+	XorPropagations uint64 `json:"xorPropagations,omitempty"`
+	XorConflicts    uint64 `json:"xorConflicts,omitempty"`
 }
 
 // FromSatStats converts solver counters to the serialized form.
 func FromSatStats(s sat.Stats) SolverStats {
 	return SolverStats{
-		Decisions:    s.Decisions,
-		Propagations: s.Propagations,
-		Conflicts:    s.Conflicts,
-		Restarts:     s.Restarts,
-		Learnt:       s.Learnt,
-		Removed:      s.Removed,
+		Decisions:       s.Decisions,
+		Propagations:    s.Propagations,
+		Conflicts:       s.Conflicts,
+		Restarts:        s.Restarts,
+		Learnt:          s.Learnt,
+		Removed:         s.Removed,
+		XorPropagations: s.XorPropagations,
+		XorConflicts:    s.XorConflicts,
 	}
 }
 
@@ -182,6 +194,7 @@ type TrialRecord struct {
 	SeedCandidates []string    `json:"seedCandidates"`
 	Exact          bool        `json:"exact"`
 	Converged      bool        `json:"converged"`
+	Analytic       bool        `json:"analytic,omitempty"`
 	Verified       bool        `json:"verified"`
 	Success        bool        `json:"success"`
 	Iterations     int         `json:"iterations"`

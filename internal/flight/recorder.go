@@ -265,6 +265,7 @@ func TrialFromResult(trial int, secretSeed gf2.Vec, res *core.Result, seconds fl
 		SecretSeed: secretSeed.String(),
 		Exact:      res.Exact,
 		Converged:  res.Converged,
+		Analytic:   res.Analytic,
 		Verified:   res.Verified,
 		Success:    success,
 		Iterations: res.Iterations,

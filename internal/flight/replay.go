@@ -9,7 +9,9 @@ import (
 
 	"dynunlock/internal/core"
 	"dynunlock/internal/gf2"
+	"dynunlock/internal/insight"
 	"dynunlock/internal/lock"
+	"dynunlock/internal/satattack"
 )
 
 // Replay is an oracle that answers scan sessions from a recorded transcript
@@ -181,12 +183,24 @@ func (b *Bundle) Replay(ctx context.Context) (*ResultDoc, error) {
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
-		res, err := core.AttackCtx(ctx, chip, core.Options{
+		opts := core.Options{
 			Mode:           mode,
 			EnumerateLimit: b.Manifest.EnumerateLimit,
 			MaxIterations:  b.Manifest.MaxIterations,
-		})
+			NativeXor:      b.Manifest.NativeXor,
+		}
+		// An analytic recording ran with the insight feedback loop armed;
+		// rebuild the same tracker so the replay short-circuits at the same
+		// iteration. A tracker setup failure degrades exactly like the
+		// recording side (dynunlock.RunExperimentCtx): untracked attack.
+		if b.Manifest.Analytic {
+			if tk, terr := insight.New(chip.Design(), insight.Options{}); terr == nil {
+				opts.OnDIP = satattack.ChainObservers(opts.OnDIP, tk.DIPObserver())
+				opts.Insight = tk
+			}
+		}
+		t0 := time.Now()
+		res, err := core.AttackCtx(ctx, chip, opts)
 		if err != nil {
 			return nil, fmt.Errorf("flight: replay trial %d: %w", rt.Trial, err)
 		}
@@ -233,6 +247,9 @@ func Compare(recorded, replayed *ResultDoc) []string {
 		}
 		if a.Converged != b.Converged {
 			diffs = append(diffs, fmt.Sprintf("%sconverged %v != %v", pfx, a.Converged, b.Converged))
+		}
+		if a.Analytic != b.Analytic {
+			diffs = append(diffs, fmt.Sprintf("%sanalytic %v != %v", pfx, a.Analytic, b.Analytic))
 		}
 		if a.Success != b.Success {
 			diffs = append(diffs, fmt.Sprintf("%ssuccess %v != %v", pfx, a.Success, b.Success))

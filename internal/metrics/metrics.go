@@ -41,6 +41,10 @@ const (
 	MetricSatRemoved      = "dynunlock_sat_removed_total"
 	MetricSatLearntDB     = "dynunlock_sat_learnt_db_size"
 	MetricSatLearntLBD    = "dynunlock_sat_learnt_lbd"
+	// GF(2) layer: literals implied by unit XOR rows and conflicts raised
+	// by violated rows (zero on pure-CNF instances).
+	MetricSatXorPropagations = "dynunlock_sat_xor_propagations_total"
+	MetricSatXorConflicts    = "dynunlock_sat_xor_conflicts_total"
 
 	// Attack series (label: engine = sequential | portfolio).
 	MetricAttackDIPs        = "dynunlock_attack_dips_total"

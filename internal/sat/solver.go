@@ -73,6 +73,11 @@ type Stats struct {
 	Restarts     uint64
 	Learnt       uint64
 	Removed      uint64
+	// XorPropagations counts literals implied by unit XOR rows;
+	// XorConflicts counts conflicts raised by violated XOR rows. Both are
+	// zero on pure-CNF instances.
+	XorPropagations uint64
+	XorConflicts    uint64
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not usable;
@@ -89,6 +94,17 @@ type Solver struct {
 	level    []int32
 	reason   []*clause
 	seen     []byte
+
+	// XOR layer (xor.go): stored parity rows in their original sparse form
+	// (what search propagates over), the echelon-reduced shadow system used
+	// only inside AddXor for dependence/inconsistency detection with its
+	// pivot-variable index, per-variable row watch lists, and per-variable
+	// lazy reasons (xorRows index + 1; 0 = not XOR-implied).
+	xorRows  []*xorRow
+	xorEch   []xorEchRow
+	xorPivot map[int32]int32 // pivot variable → xorEch index
+	xwatches [][]int32       // indexed by variable
+	reasonX  []int32         // indexed by variable
 
 	order    *varHeap
 	varInc   float64
@@ -193,12 +209,14 @@ func (s *Solver) flushHook() {
 		return
 	}
 	d := Stats{
-		Decisions:    s.Stats.Decisions - s.hookMark.Decisions,
-		Propagations: s.Stats.Propagations - s.hookMark.Propagations,
-		Conflicts:    s.Stats.Conflicts - s.hookMark.Conflicts,
-		Restarts:     s.Stats.Restarts - s.hookMark.Restarts,
-		Learnt:       s.Stats.Learnt - s.hookMark.Learnt,
-		Removed:      s.Stats.Removed - s.hookMark.Removed,
+		Decisions:       s.Stats.Decisions - s.hookMark.Decisions,
+		Propagations:    s.Stats.Propagations - s.hookMark.Propagations,
+		Conflicts:       s.Stats.Conflicts - s.hookMark.Conflicts,
+		Restarts:        s.Stats.Restarts - s.hookMark.Restarts,
+		Learnt:          s.Stats.Learnt - s.hookMark.Learnt,
+		Removed:         s.Stats.Removed - s.hookMark.Removed,
+		XorPropagations: s.Stats.XorPropagations - s.hookMark.XorPropagations,
+		XorConflicts:    s.Stats.XorConflicts - s.hookMark.XorConflicts,
 	}
 	s.hookMark = s.Stats
 	h.OnSample(d, len(s.learnts))
@@ -233,8 +251,10 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
+	s.reasonX = append(s.reasonX, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.xwatches = append(s.xwatches, nil)
 	s.order.insert(v)
 	return v
 }
@@ -305,11 +325,17 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	return true
 }
 
-// AddFormula adds every clause of f, allocating variables as needed.
+// AddFormula adds every clause and XOR constraint of f, allocating
+// variables as needed.
 func (s *Solver) AddFormula(f *cnf.Formula) bool {
 	s.ensureVars(f.NumVars - 1)
 	for _, c := range f.Clauses {
 		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	for _, x := range f.Xors {
+		if !s.AddXor(x, true) {
 			return false
 		}
 	}
@@ -354,6 +380,16 @@ func (s *Solver) propagate() *clause {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
+		// Parity rows first: XOR conflicts surface on a shorter trail,
+		// before this literal's CNF consequences pile further assignments
+		// onto the current level, which keeps the learnt clauses from the
+		// parity-heavy lock logic tight.
+		if len(s.xorRows) > 0 {
+			if confl := s.propagateXor(p); confl != nil {
+				s.qhead = len(s.trail)
+				return confl
+			}
+		}
 		ws := s.watches[p]
 		falseLit := p.Not()
 		n := 0
@@ -414,6 +450,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		s.assigns[v] = lUndef
 		s.polarity[v] = p.Sign()
 		s.reason[v] = nil
+		s.reasonX[v] = 0
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:s.trailLim[lvl]]
@@ -475,7 +512,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 		}
 		p = s.trail[index]
 		index--
-		confl = s.reason[p.Var()]
+		confl = s.reasonFor(p.Var())
 		s.seen[p.Var()] = 0
 		pathC--
 		if pathC == 0 {
@@ -492,7 +529,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		r := s.reason[v]
+		r := s.reasonFor(v)
 		if r == nil {
 			learnt[j] = learnt[i]
 			j++
@@ -544,10 +581,10 @@ func (s *Solver) analyzeFinal(p cnf.Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if r := s.reasonFor(v); r == nil {
 			s.conflict = append(s.conflict, s.trail[i].Not())
 		} else {
-			for _, q := range s.reason[v].lits[1:] {
+			for _, q := range r.lits[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}
@@ -901,10 +938,13 @@ func (s *Solver) BumpActivity(v int, amount float64) {
 	s.order.bump(v)
 }
 
-// WriteDimacs dumps the current problem — top-level unit assignments and
-// problem clauses (learnt clauses excluded) — in DIMACS CNF format. The
-// paper's methodology dumps the CNF after each attack iteration to inspect
-// recovered seed bits; satattack exposes this through its DumpCNF option.
+// WriteDimacs dumps the current problem — top-level unit assignments,
+// problem clauses (learnt clauses excluded), and XOR rows as cryptominisat
+// "x ..." lines — in DIMACS CNF format. The paper's methodology dumps the
+// CNF after each attack iteration to inspect recovered seed bits; satattack
+// exposes this through its DumpCNF option. XOR rows are emitted after
+// echelon reduction, which together with the unit lines is equivalent to
+// the constraints as added.
 func (s *Solver) WriteDimacs(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	units := 0
@@ -917,7 +957,7 @@ func (s *Solver) WriteDimacs(w io.Writer) error {
 		fmt.Fprintf(bw, "p cnf %d 1\n0\n", s.NumVars())
 		return bw.Flush()
 	}
-	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units)
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units+len(s.xorRows))
 	for i := 0; i < units; i++ {
 		fmt.Fprintf(bw, "%d 0\n", s.trail[i].Dimacs())
 	}
@@ -926,6 +966,15 @@ func (s *Solver) WriteDimacs(w io.Writer) error {
 			fmt.Fprintf(bw, "%d ", l.Dimacs())
 		}
 		fmt.Fprintln(bw, 0)
+	}
+	for _, row := range s.xorRows {
+		// The XOR of the listed literals must be true: a false rhs is
+		// folded into the first literal's sign.
+		bw.WriteString("x")
+		for i, v := range row.vars {
+			fmt.Fprintf(bw, " %d", cnf.MkLit(int(v), i == 0 && !row.rhs).Dimacs())
+		}
+		fmt.Fprintln(bw, " 0")
 	}
 	return bw.Flush()
 }

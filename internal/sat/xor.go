@@ -1,0 +1,317 @@
+// XOR layer: native GF(2) parity constraints beside the CNF watch-list
+// engine, in the cryptominisat style. Each constraint is a row
+// "XOR(vars) = rhs". AddXor reduces a scratch copy of every new row against
+// a top-level echelon (pivot = smallest variable) with level-0 assignments
+// folded out, so injecting linearly dependent rows — the common case when
+// the insight tracker streams certified constraints after every DIP —
+// costs no storage and immediately detects inconsistency or a forced
+// assignment. Independent rows are stored in their ORIGINAL sparse form:
+// circuit parity rows chain through shared low-index variables, and
+// eliminating those pivots would densify the stored system, turning every
+// implication reason into a near-full-width clause and poisoning conflict
+// analysis. The echelon is Gaussian bookkeeping only; the sparse originals
+// are what search propagates over. During search each row watches two of
+// its variables; when a watched variable is assigned the row is scanned in
+// full: with one unassigned variable left the forced value is enqueued
+// (reason materialized lazily, see reasonFor), with none left and wrong
+// parity a conflict clause is synthesized for the standard first-UIP
+// analysis. The full scan — rather than minimal watch movement — keeps
+// propagation complete when both watches of a row are assigned within one
+// propagation batch.
+package sat
+
+import (
+	"sort"
+
+	"dynunlock/internal/cnf"
+)
+
+// xorRow is one parity constraint XOR(vars) = rhs. vars are distinct and
+// sorted ascending; rows are immutable once stored (reason indices into
+// xorRows stay valid for the solver's lifetime).
+type xorRow struct {
+	vars  []int32
+	rhs   bool
+	watch [2]int32 // the two watched variables, always distinct row members
+}
+
+// xorEchRow is one row of the AddXor-time echelon: the same constraint
+// shape as xorRow but never watched or used as a reason — it exists only
+// so new rows can be tested for linear dependence and inconsistency
+// without densifying the rows search propagates over.
+type xorEchRow struct {
+	vars []int32
+	rhs  bool
+}
+
+// AddXor adds the parity constraint "XOR of the literal values = rhs".
+// Negated literals fold their sign into rhs, duplicate variables cancel,
+// and level-0 assignments fold into rhs (they never backtrack). A scratch
+// copy is then Gauss-reduced against the echelon: a dependent row stores
+// nothing, an inconsistent one fails the solver, a unit remainder enqueues
+// its forced literal. Independent rows extend the echelon with their
+// reduced form but are stored and watched in their original sparse form —
+// reduction would chain circuit rows together into dense rows whose
+// implications carry near-full-width reasons, wrecking conflict analysis.
+// Like AddClause it returns false when the solver becomes (or already is)
+// inconsistent at the top level.
+func (s *Solver) AddXor(lits []cnf.Lit, rhs bool) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	vars := make([]int32, 0, len(lits))
+	for _, l := range lits {
+		s.ensureVars(l.Var())
+		if l.Sign() {
+			rhs = !rhs
+		}
+		vars = append(vars, int32(l.Var()))
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	// Cancel duplicate pairs: v ⊕ v = 0.
+	out := vars[:0]
+	for i := 0; i < len(vars); {
+		if i+1 < len(vars) && vars[i] == vars[i+1] {
+			i += 2
+			continue
+		}
+		out = append(out, vars[i])
+		i++
+	}
+	vars = out
+	vars, rhs = s.xorFoldAssigned(vars, rhs)
+	if len(vars) <= 1 {
+		return s.xorFinishSmall(vars, rhs)
+	}
+
+	// Gauss-reduce a scratch copy against the echelon to fixpoint: fold
+	// any level-0 assignments the merge reintroduced, then cancel the
+	// LARGEST variable against the echelon row with the same pivot. Each
+	// pivot step strictly lowers the largest variable, so this terminates.
+	// Pivoting on the largest variable makes the reduction run in
+	// definition order — encoders allocate a gate's output after its
+	// inputs — so reducing a row substitutes already-defined XOR outputs
+	// by their transitive supports instead of chaining unrelated rows
+	// together through shared inputs. For the unrolled keystream generator
+	// the fixpoint expresses every cycle's parity bit directly over the
+	// seed variables.
+	rv := append([]int32(nil), vars...)
+	rrhs := rhs
+	for {
+		rv, rrhs = s.xorFoldAssigned(rv, rrhs)
+		if len(rv) == 0 {
+			break
+		}
+		ei, ok := s.xorPivot[rv[len(rv)-1]]
+		if !ok {
+			break
+		}
+		ech := s.xorEch[ei]
+		if ech.rhs {
+			rrhs = !rrhs
+		}
+		rv = xorMerge(rv, ech.vars)
+	}
+	if len(rv) <= 1 {
+		// Linearly dependent modulo a possible forced literal: the stored
+		// system plus that assignment already implies the new row, so it
+		// stores nothing.
+		return s.xorFinishSmall(rv, rrhs)
+	}
+	if s.xorPivot == nil {
+		s.xorPivot = make(map[int32]int32)
+	}
+	s.xorPivot[rv[len(rv)-1]] = int32(len(s.xorEch))
+	s.xorEch = append(s.xorEch, xorEchRow{vars: rv, rhs: rrhs})
+
+	s.xorStore(vars, rhs)
+	return true
+}
+
+// xorStore attaches a normalized row (≥2 distinct sorted unassigned
+// variables) to the watch lists.
+func (s *Solver) xorStore(vars []int32, rhs bool) {
+	row := &xorRow{vars: vars, rhs: rhs, watch: [2]int32{vars[0], vars[1]}}
+	ri := int32(len(s.xorRows))
+	s.xorRows = append(s.xorRows, row)
+	s.xwatches[vars[0]] = append(s.xwatches[vars[0]], ri)
+	s.xwatches[vars[1]] = append(s.xwatches[vars[1]], ri)
+}
+
+// xorFoldAssigned drops level-0 assigned variables from a row, folding
+// their values into rhs. Must be called at decision level 0.
+func (s *Solver) xorFoldAssigned(vars []int32, rhs bool) ([]int32, bool) {
+	n := 0
+	for _, v := range vars {
+		switch s.assigns[v] {
+		case lTrue:
+			rhs = !rhs
+		case lFalse:
+			// drop
+		default:
+			vars[n] = v
+			n++
+		}
+	}
+	return vars[:n], rhs
+}
+
+// xorFinishSmall resolves a row reduced to ≤1 variables: empty rows are
+// tautological or inconsistent, unit rows force their variable at level 0.
+func (s *Solver) xorFinishSmall(vars []int32, rhs bool) bool {
+	if len(vars) == 0 {
+		if rhs {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.uncheckedEnqueue(cnf.MkLit(int(vars[0]), !rhs), nil)
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	return true
+}
+
+// xorMerge returns the symmetric difference of two sorted variable lists
+// (the GF(2) sum of the two rows).
+func xorMerge(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// NumXors returns the number of parity rows currently stored and watched
+// (linearly dependent additions store nothing).
+func (s *Solver) NumXors() int { return len(s.xorRows) }
+
+// propagateXor scans every XOR row watching the just-assigned variable of
+// p. Unit rows enqueue their forced literal; a violated row returns a
+// synthesized conflict clause (all literals false under the current
+// assignment, including at least one at the current decision level — the
+// trigger variable itself).
+func (s *Solver) propagateXor(p cnf.Lit) *clause {
+	v := int32(p.Var())
+	ws := s.xwatches[v]
+	n := 0
+	for i := 0; i < len(ws); i++ {
+		ri := ws[i]
+		row := s.xorRows[ri]
+		parity := row.rhs
+		var unassigned int32 = -1
+		count := 0
+		for _, u := range row.vars {
+			switch s.assigns[u] {
+			case lUndef:
+				count++
+				unassigned = u
+			case lTrue:
+				parity = !parity
+			}
+		}
+		switch {
+		case count == 0:
+			// parity is rhs ⊕ sum(values): true means the row is violated.
+			if parity {
+				s.Stats.XorConflicts++
+				for ; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.xwatches[v] = ws[:n]
+				return s.xorConflictClause(row)
+			}
+			ws[n] = ri
+			n++
+		case count == 1:
+			// The remaining variable must restore the parity.
+			s.Stats.XorPropagations++
+			s.reasonX[unassigned] = ri + 1
+			s.uncheckedEnqueue(cnf.MkLit(int(unassigned), !parity), nil)
+			ws[n] = ri
+			n++
+		default:
+			// ≥2 unassigned: move this watch onto an unassigned variable so
+			// the next relevant assignment re-triggers the scan.
+			moved := false
+			if row.watch[0] == v || row.watch[1] == v {
+				slot := 0
+				if row.watch[1] == v {
+					slot = 1
+				}
+				other := row.watch[1-slot]
+				for _, u := range row.vars {
+					if u != other && s.assigns[u] == lUndef {
+						row.watch[slot] = u
+						s.xwatches[u] = append(s.xwatches[u], ri)
+						moved = true
+						break
+					}
+				}
+			}
+			if !moved {
+				ws[n] = ri
+				n++
+			}
+		}
+	}
+	s.xwatches[v] = ws[:n]
+	return nil
+}
+
+// xorConflictClause materializes a violated row as a clause: one literal
+// per row variable, each false under the current assignment.
+func (s *Solver) xorConflictClause(row *xorRow) *clause {
+	lits := make([]cnf.Lit, 0, len(row.vars))
+	for _, u := range row.vars {
+		lits = append(lits, cnf.MkLit(int(u), s.assigns[u] == lTrue))
+	}
+	return &clause{lits: lits}
+}
+
+// xorReasonClause materializes the reason for an XOR-implied variable v:
+// the implied literal (true under the current assignment) first, then the
+// falsified antecedent literals — the shape analyze, minimization, and
+// analyzeFinal expect from CNF reasons. Synthesized reasons never enter
+// the clause database, so reduceDB and locked() are unaffected.
+func (s *Solver) xorReasonClause(v int, row *xorRow) *clause {
+	lits := make([]cnf.Lit, 0, len(row.vars))
+	lits = append(lits, cnf.MkLit(v, s.assigns[v] == lFalse))
+	for _, u := range row.vars {
+		if int(u) == v {
+			continue
+		}
+		lits = append(lits, cnf.MkLit(int(u), s.assigns[u] == lTrue))
+	}
+	return &clause{lits: lits}
+}
+
+// reasonFor returns the reason clause of an assigned variable: the stored
+// CNF reason, a lazily materialized XOR reason, or nil for decisions and
+// top-level facts.
+func (s *Solver) reasonFor(v int) *clause {
+	if r := s.reason[v]; r != nil {
+		return r
+	}
+	if ri := s.reasonX[v]; ri != 0 {
+		return s.xorReasonClause(v, s.xorRows[ri-1])
+	}
+	return nil
+}

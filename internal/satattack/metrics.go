@@ -75,6 +75,8 @@ func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
 	rest := h.Counter(metrics.MetricSatRestarts, "instance", inst)
 	learnt := h.Counter(metrics.MetricSatLearnt, "instance", inst)
 	removed := h.Counter(metrics.MetricSatRemoved, "instance", inst)
+	xorProp := h.Counter(metrics.MetricSatXorPropagations, "instance", inst)
+	xorConfl := h.Counter(metrics.MetricSatXorConflicts, "instance", inst)
 	db := h.Gauge(metrics.MetricSatLearntDB, "instance", inst)
 	lbd := h.Histogram(metrics.MetricSatLearntLBD, lbdBuckets, "instance", inst)
 	s.SetHook(&sat.Hook{
@@ -85,6 +87,8 @@ func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
 			rest.Add(d.Restarts)
 			learnt.Add(d.Learnt)
 			removed.Add(d.Removed)
+			xorProp.Add(d.XorPropagations)
+			xorConfl.Add(d.XorConflicts)
 			db.Set(float64(learntDB))
 		},
 		OnLearnt: func(l int32, size int) {

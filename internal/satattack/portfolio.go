@@ -57,14 +57,15 @@ type portfolio struct {
 	winCtr []*metrics.Counter
 }
 
-func newPortfolio(l *Locked, n int, budget int64, mh *metrics.Handle) *portfolio {
+func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) *portfolio {
+	n := opts.Portfolio
 	p := &portfolio{l: l, wins: make([]int, n)}
 	for i := 0; i < n; i++ {
 		s := sat.NewWithConfig(sat.Diversify(i))
-		s.ConflictBudget = budget
+		s.ConflictBudget = opts.ConflictBudget
 		installSolverMetrics(mh, s, i)
 		p.winCtr = append(p.winCtr, mh.Counter(metrics.MetricPortfolioWins, "instance", strconv.Itoa(i)))
-		e := encode.New(s)
+		e := encode.NewWithConfig(s, encode.Config{NativeXor: opts.NativeXor})
 		in := &pfInstance{
 			s:  s,
 			e:  e,
@@ -172,6 +173,8 @@ func (p *portfolio) statsSum() sat.Stats {
 		sum.Restarts += in.s.Stats.Restarts
 		sum.Learnt += in.s.Stats.Learnt
 		sum.Removed += in.s.Stats.Removed
+		sum.XorPropagations += in.s.Stats.XorPropagations
+		sum.XorConflicts += in.s.Stats.XorConflicts
 	}
 	return sum
 }
@@ -185,7 +188,7 @@ func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Resu
 	start := time.Now()
 
 	enc := tr.Start("encode")
-	p := newPortfolio(l, opts.Portfolio, opts.ConflictBudget, mh)
+	p := newPortfolio(l, opts, mh)
 	enc.Add("instances", uint64(len(p.insts)))
 	enc.Add("vars", uint64(p.insts[0].s.NumVars()))
 	enc.Add("clauses", uint64(p.insts[0].s.NumClauses()))
@@ -215,6 +218,7 @@ func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Resu
 		loop.End()
 	}
 	stop := StopNone
+	insCursor := 0
 dipLoop:
 	for {
 		if err := ctx.Err(); err != nil {
@@ -258,6 +262,22 @@ dipLoop:
 				opts.OnDIP(res.Iterations, dip, resp, p.statsSum(), solveT1.Sub(solveT0))
 			}
 			p.replayDIP(dip, resp)
+			if opts.Insight != nil {
+				// Replay the certified rows into every instance so all
+				// clause databases stay logically equivalent and any
+				// instance can win the next race.
+				var cs []KeyConstraint
+				cs, insCursor = opts.Insight.ConstraintsSince(insCursor)
+				for _, in := range p.insts {
+					injectInsight(in.s, in.k1, in.k2, cs)
+				}
+				if key, ok := opts.Insight.SolveKey(); ok && len(key) == len(l.KeyIdx) {
+					res.Key = append([]bool(nil), key...)
+					res.Analytic = true
+					res.Converged = true
+					break dipLoop
+				}
+			}
 			tr.Progressf("iter %d: dip=%s inst=%d clauses=%d",
 				res.Iterations, bitString(dip), winner, w.s.NumClauses())
 			if opts.Log != nil {
@@ -271,6 +291,15 @@ dipLoop:
 	}
 	endLoop()
 	if stop != StopNone && stop != StopIterations {
+		return finish(stop), nil
+	}
+	if res.Analytic {
+		// Rank-k short-circuit (see the sequential engine): the key is
+		// unique, so extraction and enumeration races are skipped.
+		if opts.EnumerateLimit > 0 {
+			res.Candidates = [][]bool{append([]bool(nil), res.Key...)}
+			res.CandidatesExact = true
+		}
 		return finish(stop), nil
 	}
 

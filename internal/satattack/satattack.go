@@ -121,6 +121,41 @@ type Options struct {
 	// duration of the call. nil leaves the hot loop free of timestamps and
 	// allocations, preserving the bit-identical unobserved path.
 	OnDIP DIPObserver
+	// NativeXor encodes XOR gates as native GF(2) solver rows instead of
+	// Tseitin clauses (encode.Config.NativeXor). Off by default so recorded
+	// bundles replay bit-identically; the CLIs enable it.
+	NativeXor bool
+	// Insight, when non-nil, closes the insight→solver feedback loop:
+	// after each DIP the freshly certified key constraints are injected
+	// into the solver(s) as XOR rows, and once the source determines the
+	// key completely the attack short-circuits analytically — the DIP loop
+	// stops, the derived key becomes the single exact candidate, and no
+	// further SAT calls are issued (Result.Analytic). The source must only
+	// certify linear consequences of the oracle responses already asserted,
+	// which keeps the candidate set identical to the plain attack's.
+	Insight InsightSource
+}
+
+// KeyConstraint is one certified GF(2) constraint over the attack's key
+// bits: the XOR of the key bits at Idx equals RHS.
+type KeyConstraint struct {
+	Idx []int
+	RHS bool
+}
+
+// InsightSource streams certified linear key constraints into the attack
+// (see Options.Insight). The internal/insight tracker implements it for
+// seed-keyed attacks; internal/core wraps it for mask-keyed (linear-mode)
+// attacks.
+type InsightSource interface {
+	// ConstraintsSince returns the constraints certified since the given
+	// cursor (0 initially) and the new cursor to resume from. Constraint
+	// indices address the attack's key vector.
+	ConstraintsSince(from int) ([]KeyConstraint, int)
+	// SolveKey returns the full key and true once the certified system
+	// determines every key bit; (nil, false) while the key space is still
+	// under-determined.
+	SolveKey() ([]bool, bool)
 }
 
 // DIPObserver receives one callback per DIP iteration (see Options.OnDIP).
@@ -195,6 +230,11 @@ type Result struct {
 	// correctness on all inputs), false when an iteration bound stopped
 	// the loop early.
 	Converged bool
+	// Analytic is true when the insight short-circuit ended the attack:
+	// the certified GF(2) system reached full rank, the key was derived by
+	// back-substitution, and the remaining SAT iterations (including
+	// extraction and enumeration) were skipped.
+	Analytic bool
 	// Elapsed is the wall-clock attack time.
 	Elapsed time.Duration
 	// SolverStats snapshots the SAT solver counters. Under a portfolio it
@@ -251,7 +291,7 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 	s := sat.New()
 	s.ConflictBudget = opts.ConflictBudget
 	installSolverMetrics(mh, s, 0)
-	e := encode.New(s)
+	e := encode.NewWithConfig(s, encode.Config{NativeXor: opts.NativeXor})
 
 	x := e.FreshVec(len(l.InIdx))
 	k1 := e.FreshVec(len(l.KeyIdx))
@@ -295,6 +335,7 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 		loop.End()
 	}
 	stop := StopNone
+	insCursor := 0
 dipLoop:
 	for {
 		if err := ctx.Err(); err != nil {
@@ -342,6 +383,21 @@ dipLoop:
 			cx := e.ConstVec(dip)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
 			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)
+			if opts.Insight != nil {
+				// The OnDIP chain above let the insight source observe this
+				// response; its new rows are linear consequences of the
+				// constraints just asserted, so injecting them prunes no
+				// candidate key.
+				var cs []KeyConstraint
+				cs, insCursor = opts.Insight.ConstraintsSince(insCursor)
+				injectInsight(s, k1, k2, cs)
+				if key, ok := opts.Insight.SolveKey(); ok && len(key) == len(k1) {
+					res.Key = append([]bool(nil), key...)
+					res.Analytic = true
+					res.Converged = true
+					break dipLoop
+				}
+			}
 			tr.Progressf("iter %d: dip=%s clauses=%d conflicts=%d",
 				res.Iterations, bitString(dip), s.NumClauses(), s.Stats.Conflicts)
 			if opts.Log != nil {
@@ -355,6 +411,16 @@ dipLoop:
 	}
 	endLoop()
 	if stop != StopNone && stop != StopIterations {
+		return finish(stop, solves), nil
+	}
+	if res.Analytic {
+		// Rank-k short-circuit: the certified system determines the key
+		// uniquely, so the equivalence class is exactly {Key} and no
+		// extraction or enumeration SAT calls are needed.
+		if opts.EnumerateLimit > 0 {
+			res.Candidates = [][]bool{append([]bool(nil), res.Key...)}
+			res.CandidatesExact = true
+		}
 		return finish(stop, solves), nil
 	}
 
@@ -399,6 +465,31 @@ func addStatsDelta(sp *trace.Span, from, to sat.Stats) {
 	sp.Add("learnt", to.Learnt-from.Learnt)
 	sp.Add("removed", to.Removed-from.Removed)
 	sp.Add("restarts", to.Restarts-from.Restarts)
+	sp.Add("xor_propagations", to.XorPropagations-from.XorPropagations)
+	sp.Add("xor_conflicts", to.XorConflicts-from.XorConflicts)
+}
+
+// injectInsight adds certified key constraints to the solver as XOR rows
+// over both key copies. Constraints with out-of-range indices are ignored
+// (defensive: a well-formed source addresses only key bits). AddXor's
+// echelon reduction absorbs rows the solver already knows for free.
+func injectInsight(s *sat.Solver, k1, k2 []cnf.Lit, cs []KeyConstraint) {
+	for _, c := range cs {
+		for _, ks := range [][]cnf.Lit{k1, k2} {
+			lits := make([]cnf.Lit, 0, len(c.Idx))
+			ok := true
+			for _, i := range c.Idx {
+				if i < 0 || i >= len(ks) {
+					ok = false
+					break
+				}
+				lits = append(lits, ks[i])
+			}
+			if ok {
+				s.AddXor(lits, c.RHS)
+			}
+		}
+	}
 }
 
 // assemble builds the full view-input literal vector from attacker inputs
