@@ -52,6 +52,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole experiment (0 = unlimited)")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		nativeXor = flag.Bool("native-xor", true, "encode XOR gates as native GF(2) solver rows instead of Tseitin CNF")
+		aigFlag   = flag.Bool("aig", true, "encode miter copies from a shared structurally-hashed AIG built once per attack")
+		simplify  = flag.Bool("simplify", true, "run level-0 solver inprocessing between DIP iterations")
 		analytic  = flag.Bool("analytic", false, "feed certified insight constraints back into the solver and short-circuit at full key rank")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write a flight-recorder bundle (manifest, oracle/DIP transcripts, trace, metrics, result) to this directory")
@@ -84,6 +86,8 @@ func main() {
 		MaxIterations:  *maxIters,
 		SeedBase:       *seedBase,
 		NativeXor:      *nativeXor,
+		AIG:            *aigFlag,
+		Simplify:       *simplify,
 		Analytic:       *analytic,
 	}
 	switch strings.ToLower(*policyStr) {

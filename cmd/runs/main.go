@@ -130,18 +130,18 @@ func cmdShow(args []string, stdout, stderr io.Writer) int {
 	if m.Fingerprint.GitCommit != "" {
 		fmt.Fprintf(stdout, "commit      %s\n", m.Fingerprint.GitCommit)
 	}
-	fmt.Fprintf(stdout, "experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d nativexor=%v analytic=%v\n",
-		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase, m.NativeXor, m.Analytic)
+	fmt.Fprintf(stdout, "experiment  %s scale=%d keybits=%d policy=%s mode=%s portfolio=%d seed=%d nativexor=%v aig=%v simplify=%v analytic=%v\n",
+		m.Benchmark, m.Scale, m.Lock.KeyBits, m.Lock.Policy, m.Mode, m.Portfolio, m.SeedBase, m.NativeXor, m.AIG, m.Simplify, m.Analytic)
 	if len(m.Profiles) > 0 {
 		fmt.Fprintf(stdout, "profiles    %v\n", m.Profiles)
 	}
 	fmt.Fprintf(stdout, "transcript  %d sessions, %d DIP iterations\n\n", len(b.Sessions), len(b.DIPs))
 
 	tb := report.New(fmt.Sprintf("Trials (%d recorded)", len(b.Result.Trials)),
-		"Trial", "Candidates", "Iterations", "Queries", "Seconds", "Conflicts", "Success")
+		"Trial", "Candidates", "Iterations", "Queries", "Seconds", "Conflicts", "Enc vars", "Enc clauses", "Success")
 	for _, t := range b.Result.Trials {
 		tb.AddRow(t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries,
-			t.Seconds, t.Solver.Conflicts, t.Success)
+			t.Seconds, t.Solver.Conflicts, t.EncodeVars, t.EncodeClauses, t.Success)
 	}
 	tb.Render(stdout)
 	if b.Result.Stopped {
@@ -273,6 +273,12 @@ func cfgString(r flight.BenchRow) string {
 	s := fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
 	if r.NativeXor {
 		s += " xor"
+	}
+	if r.AIG {
+		s += " aig"
+	}
+	if r.Simplify {
+		s += " simplify"
 	}
 	if r.Analytic {
 		s += " analytic"

@@ -52,6 +52,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget shared by the whole table sweep (0 = unlimited); completed conditions are still rendered")
 		maxIters  = flag.Int("max-iters", 0, "bound each trial's DIP loop (0 = unlimited)")
 		nativeXor = flag.Bool("native-xor", true, "encode XOR gates as native GF(2) solver rows instead of Tseitin CNF")
+		aigFlag   = flag.Bool("aig", true, "encode miter copies from a shared structurally-hashed AIG built once per attack")
+		simplify  = flag.Bool("simplify", true, "run level-0 solver inprocessing between DIP iterations")
 		analytic  = flag.Bool("analytic", false, "feed certified insight constraints back into the solver and short-circuit at full key rank")
 		tracePath = flag.String("trace", "", "write a JSONL event trace to this path")
 		recordDir = flag.String("record", "", "write one flight-recorder bundle per table condition under this directory (tables 2 and 3)")
@@ -134,7 +136,7 @@ func main() {
 	start := time.Now()
 	var rows []condRow
 	var err error
-	variant := attackVariant{nativeXor: *nativeXor, analytic: *analytic}
+	variant := attackVariant{nativeXor: *nativeXor, aig: *aigFlag, simplify: *simplify, analytic: *analytic}
 	switch *table {
 	case 1:
 		rows, err = table1(ctx, *scale, *portfolio, workers, variant, logw)
@@ -222,10 +224,12 @@ func writeJSON(path string, rep *jsonReport) error {
 	return f.Close()
 }
 
-// attackVariant carries the solver-encoding selection (-native-xor,
-// -analytic) into every table condition.
+// attackVariant carries the solver-encoding selection (-native-xor, -aig,
+// -simplify, -analytic) into every table condition.
 type attackVariant struct {
 	nativeXor bool
+	aig       bool
+	simplify  bool
 	analytic  bool
 }
 
@@ -296,7 +300,8 @@ func table1(ctx context.Context, scale, portfolio, workers int, variant attackVa
 	}
 	dynUnlock := func(ctx context.Context, chip *oracle.Chip) (bool, int, int, error) {
 		res, err := core.AttackCtx(ctx, chip, core.Options{
-			Portfolio: portfolio, EnumerateLimit: 256, NativeXor: variant.nativeXor, Log: logw})
+			Portfolio: portfolio, EnumerateLimit: 256, NativeXor: variant.nativeXor,
+			AIG: variant.aig, Simplify: variant.simplify, Log: logw})
 		if err != nil {
 			return false, 0, 0, err
 		}
@@ -423,6 +428,8 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 			MaxIterations: maxIters,
 			SeedBase:      100,
 			NativeXor:     variant.nativeXor,
+			AIG:           variant.aig,
+			Simplify:      variant.simplify,
 			Analytic:      variant.analytic,
 			Log:           logw,
 		}
@@ -497,6 +504,8 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 			MaxIterations: maxIters,
 			SeedBase:      int64(c.kb),
 			NativeXor:     variant.nativeXor,
+			AIG:           variant.aig,
+			Simplify:      variant.simplify,
 			Analytic:      variant.analytic,
 			Log:           logw,
 		}

@@ -80,6 +80,14 @@ type ExperimentConfig struct {
 	// the zero value keeps the pure-CNF encoding so bundles recorded
 	// before the XOR layer replay bit-identically.
 	NativeXor bool
+	// AIG builds the structurally-hashed AIG once per attack and encodes
+	// every miter copy from it (see core.Options.AIG). The CLIs default it
+	// on; the zero value keeps the direct netlist→CNF encoding so older
+	// bundles replay bit-identically.
+	AIG bool
+	// Simplify runs level-0 solver inprocessing between DIP iterations (see
+	// core.Options.Simplify). Same default discipline as AIG.
+	Simplify bool
 	// Analytic closes the insight feedback loop: the tracker's certified
 	// seed constraints are injected into the SAT solver after each DIP and
 	// the attack short-circuits analytically once they reach full key rank
@@ -313,6 +321,8 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			MaxIterations:  cfg.MaxIterations,
 			SeedBase:       cfg.SeedBase,
 			NativeXor:      cfg.NativeXor,
+			AIG:            cfg.AIG,
+			Simplify:       cfg.Simplify,
 			Analytic:       cfg.Analytic,
 			Lock:           flight.LockInfoFor(design),
 			Fingerprint:    flight.NewFingerprint(),
@@ -335,6 +345,8 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			EnumerateLimit: cfg.EnumerateLimit,
 			MaxIterations:  cfg.MaxIterations,
 			NativeXor:      cfg.NativeXor,
+			AIG:            cfg.AIG,
+			Simplify:       cfg.Simplify,
 			Log:            cfg.Log,
 		}
 		var atkChip core.Chip = chip

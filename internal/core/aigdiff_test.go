@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dynunlock/internal/bench"
+	"dynunlock/internal/gf2"
+	"dynunlock/internal/lock"
+	"dynunlock/internal/oracle"
+	"dynunlock/internal/scan"
+)
+
+// seedSet renders a result's seed candidates as a sorted string set.
+func seedSet(t *testing.T, res *Result) []string {
+	t.Helper()
+	if !res.Converged {
+		t.Fatal("attack did not converge")
+	}
+	out := make([]string, len(res.SeedCandidates))
+	for i, c := range res.SeedCandidates {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The full attack pipeline over every committed Table II benchmark: the AIG
+// encode path with inprocessing must recover exactly the seed class the
+// direct netlist→CNF path recovers. Circuits are scaled down so all ten
+// benchmarks run in test time; the encode layers under test are identical
+// at every scale.
+func TestAIGCandidatesMatchDirectOnBenchmarks(t *testing.T) {
+	const scale = 16
+	for _, e := range bench.Table2 {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			entry := e.Scaled(scale)
+			n, err := entry.Build(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := lock.Lock(n, lock.Config{KeyBits: 16, Policy: scan.PerCycle})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(e.Name)) * 131))
+			seed := gf2.NewVec(16)
+			for i := 0; i < 16; i++ {
+				if rng.Intn(2) == 1 {
+					seed.Set(i, true)
+				}
+			}
+			if seed.IsZero() {
+				seed.Set(0, true)
+			}
+			authKey := make([]bool, 16)
+			authKey[0] = true
+			newChip := func() *oracle.Chip {
+				chip, err := oracle.New(d, seed, authKey)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return chip
+			}
+			direct, err := Attack(newChip(), Options{EnumerateLimit: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seedSet(t, direct)
+			aig, err := Attack(newChip(), Options{EnumerateLimit: 256, AIG: true, Simplify: true, NativeXor: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := seedSet(t, aig)
+			if len(want) != len(got) {
+				t.Fatalf("candidate count diverged: direct %d, aig %d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("candidate %d diverged: direct %s, aig %s", i, want[i], got[i])
+				}
+			}
+			if !ContainsSeed(aig.SeedCandidates, seed) {
+				t.Fatal("aig path lost the programmed secret seed")
+			}
+			if aig.EncodeClauses == 0 {
+				t.Fatal("aig path reported no encode clauses")
+			}
+			if direct.EncodeClauses == 0 {
+				t.Fatal("direct path reported no encode clauses")
+			}
+			t.Logf("%s: %d candidates; encode clauses direct=%d aig=%d (%.2fx)",
+				e.Name, len(got), direct.EncodeClauses, aig.EncodeClauses,
+				float64(direct.EncodeClauses)/float64(aig.EncodeClauses))
+		})
+	}
+}

@@ -84,6 +84,13 @@ type Options struct {
 	// Tseitin clauses (see satattack.Options.NativeXor). Off by default so
 	// committed flight bundles replay bit-identically.
 	NativeXor bool
+	// AIG routes encoding through the shared structurally-hashed AIG built
+	// once from the unrolled netlist (see satattack.Options.AIG). Off by
+	// default for the same replay-compatibility reason; the CLIs enable it.
+	AIG bool
+	// Simplify runs level-0 solver inprocessing between DIP iterations (see
+	// satattack.Options.Simplify). Off by default; the CLIs enable it.
+	Simplify bool
 	// Insight, when non-nil, is a seed-space constraint source (the
 	// internal/insight tracker) whose certified rows are fed back into the
 	// solver after each DIP and which arms the analytic rank-k
@@ -136,6 +143,12 @@ type Result struct {
 	Stopped bool
 	// StopReason classifies the bound that fired when Stopped is true.
 	StopReason StopReason
+	// EncodeVars and EncodeClauses count solver variables and emitted
+	// clauses (including native XOR rows) attributable to circuit encoding,
+	// summed over the initial miter and every DIP-constrained copy pair
+	// (instance 0 under a portfolio). The AIG path exists to shrink these.
+	EncodeVars    uint64
+	EncodeClauses uint64
 }
 
 // ChipOracle adapts a scan session on the real chip to the combinational
@@ -222,6 +235,8 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		Log:            opts.Log,
 		OnDIP:          opts.OnDIP,
 		NativeXor:      opts.NativeXor,
+		AIG:            opts.AIG,
+		Simplify:       opts.Simplify,
 	}
 
 	res := &Result{Mode: opts.Mode}
@@ -258,6 +273,8 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		res.InstanceWins = saRes.InstanceWins
 		res.Stopped = saRes.Stopped
 		res.StopReason = saRes.StopReason
+		res.EncodeVars = saRes.EncodeVars
+		res.EncodeClauses = saRes.EncodeClauses
 		for _, c := range saRes.Candidates {
 			res.SeedCandidates = append(res.SeedCandidates, gf2.FromBools(c))
 		}
@@ -299,6 +316,8 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		res.InstanceWins = saRes.InstanceWins
 		res.Stopped = saRes.Stopped
 		res.StopReason = saRes.StopReason
+		res.EncodeVars = saRes.EncodeVars
+		res.EncodeClauses = saRes.EncodeClauses
 		masks := saRes.Candidates
 		if len(masks) == 0 && saRes.Key != nil {
 			masks = [][]bool{saRes.Key}
@@ -382,13 +401,18 @@ type Verifier struct {
 }
 
 // NewVerifier builds a verifier for the design, precomputing the session-0
-// mask matrices.
+// mask matrices. The sequential core runs on the AIG fast path (bit-identical
+// to the gate-level stepper), falling back to it only if compilation fails.
 func NewVerifier(d *lock.Design) (*Verifier, error) {
 	A, B, err := maskMatrices(d, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Verifier{d: d, seq: sim.NewSeq(d.View), a: A, b: B}, nil
+	seq, err := sim.NewSeqAIG(d.View)
+	if err != nil {
+		seq = sim.NewSeq(d.View)
+	}
+	return &Verifier{d: d, seq: seq, a: A, b: B}, nil
 }
 
 // Session predicts (scanOut, po) of a session-0 scan session under the

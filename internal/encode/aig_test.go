@@ -1,0 +1,155 @@
+package encode
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynunlock/internal/aig"
+	"dynunlock/internal/bench"
+	"dynunlock/internal/cnf"
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sat"
+	"dynunlock/internal/sim"
+)
+
+func graphFor(t testing.TB, v *netlist.CombView) *aig.Graph {
+	t.Helper()
+	g, err := aig.FromCombView(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The AIG pipeline must agree with the simulator on every input pattern,
+// under both the pure-CNF and native-XOR encodings.
+func TestEncodeAIGMatchesSimulatorExhaustive(t *testing.T) {
+	for _, cfg := range []Config{{}, {NativeXor: true}} {
+		rng := rand.New(rand.NewSource(41))
+		for trial := 0; trial < 25; trial++ {
+			nIn := 2 + rng.Intn(5)
+			v := randomCircuit(rng, nIn, 3+rng.Intn(25))
+			g := graphFor(t, v)
+			simulator := sim.NewComb(v)
+			s := sat.New()
+			e := NewWithConfig(s, cfg)
+			inLits := e.FreshVec(len(v.Inputs))
+			outLits := e.EncodeAIG(g, inLits)
+			for pat := 0; pat < 1<<uint(nIn); pat++ {
+				in := make([]bool, nIn)
+				assumptions := make([]cnf.Lit, nIn)
+				for i := range in {
+					in[i] = pat>>uint(i)&1 == 1
+					assumptions[i] = inLits[i]
+					if !in[i] {
+						assumptions[i] = inLits[i].Not()
+					}
+				}
+				if s.Solve(assumptions...) != sat.Sat {
+					t.Fatalf("cfg %+v trial %d pat %d: UNSAT", cfg, trial, pat)
+				}
+				got := e.ModelBits(outLits)
+				want := simulator.EvalBits(in)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("cfg %+v trial %d pat %d out %d: aig=%v sim=%v", cfg, trial, pat, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// An AIG copy and a direct copy of the same circuit over shared inputs can
+// never differ: the cross-pipeline miter must be UNSAT.
+func TestEncodeAIGEquivalentToDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		v := randomCircuit(rng, 4, 24)
+		g := graphFor(t, v)
+		s := sat.New()
+		e := New(s)
+		in := e.FreshVec(len(v.Inputs))
+		y1 := e.EncodeComb(v, in)
+		y2 := e.EncodeAIG(g, in)
+		act := e.Miter(y1, y2)
+		if s.Solve(act) != sat.Unsat {
+			t.Fatalf("trial %d: AIG copy differs from direct copy", trial)
+		}
+		if s.Solve() != sat.Sat {
+			t.Fatalf("trial %d: solver unusable after miter", trial)
+		}
+	}
+}
+
+// A fully constant-input copy must collapse to constants without emitting a
+// single clause, and a DIP-style copy (constant non-key inputs, shared key
+// literals) must emit far fewer clauses than a direct re-encode.
+func TestEncodeAIGConstantCollapse(t *testing.T) {
+	e2 := bench.Table2[0].Scaled(16)
+	n, err := e2.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := netlist.NewCombView(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphFor(t, v)
+
+	s := sat.New()
+	e := New(s)
+	consts := make([]cnf.Lit, len(v.Inputs))
+	vals := make([]bool, len(v.Inputs))
+	rng := rand.New(rand.NewSource(7))
+	for i := range consts {
+		vals[i] = rng.Intn(2) == 1
+		consts[i] = e.Const(vals[i])
+	}
+	before := s.NumClauses()
+	out := e.EncodeAIG(g, consts)
+	if d := s.NumClauses() - before; d != 0 {
+		t.Fatalf("constant copy emitted %d clauses", d)
+	}
+	want := sim.NewComb(v).EvalBits(vals)
+	for i, l := range out {
+		if got := l == e.True(); got != want[i] {
+			t.Fatalf("constant output %d: aig=%v sim=%v", i, got, want[i])
+		}
+	}
+
+	// DIP-style copy: half the inputs constant, half shared fresh literals.
+	half := len(v.Inputs) / 2
+	mixed := make([]cnf.Lit, len(v.Inputs))
+	free := e.FreshVec(len(v.Inputs) - half)
+	for i := range mixed {
+		if i < half {
+			mixed[i] = consts[i]
+		} else {
+			mixed[i] = free[i-half]
+		}
+	}
+	before = s.NumClauses()
+	e.EncodeAIG(g, mixed)
+	aigDelta := s.NumClauses() - before
+
+	s2 := sat.New()
+	e2e := New(s2)
+	mixed2 := make([]cnf.Lit, len(v.Inputs))
+	free2 := e2e.FreshVec(len(v.Inputs) - half)
+	for i := range mixed2 {
+		if i < half {
+			mixed2[i] = e2e.Const(vals[i])
+		} else {
+			mixed2[i] = free2[i-half]
+		}
+	}
+	before = s2.NumClauses()
+	e2e.EncodeComb(v, mixed2)
+	directDelta := s2.NumClauses() - before
+
+	if aigDelta > directDelta {
+		t.Errorf("AIG copy emitted more clauses than direct: %d vs %d", aigDelta, directDelta)
+	}
+	t.Logf("DIP-style copy: aig %d clauses vs direct %d (%.1fx)", aigDelta, directDelta, float64(directDelta)/float64(aigDelta+1))
+}

@@ -23,6 +23,8 @@ type BenchRow struct {
 	Portfolio         int     `json:"portfolio"`
 	NativeXor         bool    `json:"nativeXor,omitempty"`
 	Analytic          bool    `json:"analytic,omitempty"`
+	AIG               bool    `json:"aig,omitempty"`
+	Simplify          bool    `json:"simplify,omitempty"`
 	Trials            int     `json:"trials"`
 	AvgCandidates     float64 `json:"avgCandidates"`
 	AvgIterations     float64 `json:"avgIterations"`
@@ -30,10 +32,13 @@ type BenchRow struct {
 	AvgSeconds        float64 `json:"avgSeconds"`
 	TotalConflicts    uint64  `json:"totalConflicts"`
 	TotalPropagations uint64  `json:"totalPropagations"`
-	Broken            bool    `json:"broken"`
-	GoVersion         string  `json:"goVersion"`
-	Host              string  `json:"host,omitempty"`
-	GitCommit         string  `json:"gitCommit,omitempty"`
+	// TotalEncodeClauses sums the per-trial encode clause counters: the
+	// measure the AIG path is meant to shrink. Zero on pre-v3 bundles.
+	TotalEncodeClauses uint64 `json:"totalEncodeClauses,omitempty"`
+	Broken             bool   `json:"broken"`
+	GoVersion          string `json:"goVersion"`
+	Host               string `json:"host,omitempty"`
+	GitCommit          string `json:"gitCommit,omitempty"`
 }
 
 // BenchFile is the BENCH_attack.json document: an append-only ledger of
@@ -58,6 +63,8 @@ func BenchRowFrom(b *Bundle) BenchRow {
 		Portfolio:  m.Portfolio,
 		NativeXor:  m.NativeXor,
 		Analytic:   m.Analytic,
+		AIG:        m.AIG,
+		Simplify:   m.Simplify,
 		Trials:     len(b.Result.Trials),
 		GoVersion:  m.Fingerprint.GoVersion,
 		Host:       m.Fingerprint.Host,
@@ -74,6 +81,7 @@ func BenchRowFrom(b *Bundle) BenchRow {
 		row.AvgSeconds += t.Seconds
 		row.TotalConflicts += t.Solver.Conflicts
 		row.TotalPropagations += t.Solver.Propagations
+		row.TotalEncodeClauses += t.EncodeClauses
 		if !t.Success {
 			row.Broken = false
 		}
@@ -113,15 +121,17 @@ func (f *BenchFile) Write(path string) error {
 // FindRow returns the ledger row matching a bundle's configuration
 // (benchmark, scale, key width, policy, mode, portfolio, encoding
 // variant), for baseline comparisons; ok is false when no row matches.
-// The encoding variant (nativeXor, analytic) is part of the key so CNF
-// and native-XOR runs of the same benchmark keep separate baselines.
+// The encoding variant (nativeXor, analytic, aig, simplify) is part of the
+// key so runs of the same benchmark under different encode paths keep
+// separate baselines.
 func (f *BenchFile) FindRow(row BenchRow) (BenchRow, bool) {
 	for i := len(f.Rows) - 1; i >= 0; i-- {
 		r := f.Rows[i]
 		if r.Benchmark == row.Benchmark && r.Scale == row.Scale &&
 			r.KeyBits == row.KeyBits && r.Policy == row.Policy &&
 			r.Mode == row.Mode && r.Portfolio == row.Portfolio &&
-			r.NativeXor == row.NativeXor && r.Analytic == row.Analytic {
+			r.NativeXor == row.NativeXor && r.Analytic == row.Analytic &&
+			r.AIG == row.AIG && r.Simplify == row.Simplify {
 			return r, true
 		}
 	}

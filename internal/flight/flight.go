@@ -46,11 +46,14 @@ import (
 //
 //	1  initial layout (manifest, oracle/DIP transcripts, trace, metrics, result)
 //	2  adds Manifest.Profiles: optional pprof captures stored in the bundle
+//	3  adds Manifest.AIG/Simplify (encode-path provenance) and the trial
+//	   encode counters EncodeVars/EncodeClauses
 //
-// Readers accept any version in [MinFormatVersion, FormatVersion]: v2 is a
-// strict superset of v1, so v1 bundles load unchanged.
+// Readers accept any version in [MinFormatVersion, FormatVersion]: each
+// version is a strict superset of the previous, so older bundles load
+// unchanged (absent fields mean the corresponding feature was off).
 const (
-	FormatVersion    = 2
+	FormatVersion    = 3
 	MinFormatVersion = 1
 )
 
@@ -83,6 +86,13 @@ type Manifest struct {
 	// means off, and replay then reproduces the pure-CNF attack exactly.
 	NativeXor bool `json:"nativeXor,omitempty"`
 	Analytic  bool `json:"analytic,omitempty"`
+	// AIG records that miter copies were encoded from the shared
+	// structurally-hashed AIG; Simplify that level-0 solver inprocessing ran
+	// between DIP iterations. Both are format-version-3 additions with the
+	// same discipline as NativeXor: absent means off, and replay arms the
+	// exact encode path the bundle was recorded with.
+	AIG      bool `json:"aig,omitempty"`
+	Simplify bool `json:"simplify,omitempty"`
 
 	Lock        LockInfo    `json:"lock"`
 	Fingerprint Fingerprint `json:"fingerprint"`
@@ -150,29 +160,36 @@ type DIPRecord struct {
 
 // SolverStats mirrors sat.Stats with stable lowercase JSON names. The XOR
 // counters are zero (and omitted) on pure-CNF runs and on bundles recorded
-// before the native XOR layer existed.
+// before the native XOR layer existed; likewise the simplify counters on
+// runs without inprocessing (pre-v3 bundles or -simplify=false).
 type SolverStats struct {
-	Decisions       uint64 `json:"decisions"`
-	Propagations    uint64 `json:"propagations"`
-	Conflicts       uint64 `json:"conflicts"`
-	Restarts        uint64 `json:"restarts"`
-	Learnt          uint64 `json:"learnt"`
-	Removed         uint64 `json:"removed"`
-	XorPropagations uint64 `json:"xorPropagations,omitempty"`
-	XorConflicts    uint64 `json:"xorConflicts,omitempty"`
+	Decisions        uint64 `json:"decisions"`
+	Propagations     uint64 `json:"propagations"`
+	Conflicts        uint64 `json:"conflicts"`
+	Restarts         uint64 `json:"restarts"`
+	Learnt           uint64 `json:"learnt"`
+	Removed          uint64 `json:"removed"`
+	XorPropagations  uint64 `json:"xorPropagations,omitempty"`
+	XorConflicts     uint64 `json:"xorConflicts,omitempty"`
+	SimplifyCalls    uint64 `json:"simplifyCalls,omitempty"`
+	SimplifyRemoved  uint64 `json:"simplifyRemoved,omitempty"`
+	SimplifyStrength uint64 `json:"simplifyStrengthened,omitempty"`
 }
 
 // FromSatStats converts solver counters to the serialized form.
 func FromSatStats(s sat.Stats) SolverStats {
 	return SolverStats{
-		Decisions:       s.Decisions,
-		Propagations:    s.Propagations,
-		Conflicts:       s.Conflicts,
-		Restarts:        s.Restarts,
-		Learnt:          s.Learnt,
-		Removed:         s.Removed,
-		XorPropagations: s.XorPropagations,
-		XorConflicts:    s.XorConflicts,
+		Decisions:        s.Decisions,
+		Propagations:     s.Propagations,
+		Conflicts:        s.Conflicts,
+		Restarts:         s.Restarts,
+		Learnt:           s.Learnt,
+		Removed:          s.Removed,
+		XorPropagations:  s.XorPropagations,
+		XorConflicts:     s.XorConflicts,
+		SimplifyCalls:    s.SimplifyCalls,
+		SimplifyRemoved:  s.SimplifyRemoved,
+		SimplifyStrength: s.SimplifyStrengthened,
 	}
 }
 
@@ -204,6 +221,11 @@ type TrialRecord struct {
 	StopReason     string      `json:"stopReason,omitempty"`
 	Seconds        float64     `json:"seconds"`
 	Solver         SolverStats `json:"solver"`
+	// EncodeVars/EncodeClauses count solver variables and emitted clauses
+	// (including native XOR rows) attributable to circuit encoding across
+	// the whole DIP loop (format version 3; zero and omitted before that).
+	EncodeVars    uint64 `json:"encodeVars,omitempty"`
+	EncodeClauses uint64 `json:"encodeClauses,omitempty"`
 }
 
 // LockInfoFor extracts the serialized locking description from a design.

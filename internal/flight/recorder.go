@@ -275,6 +275,9 @@ func TrialFromResult(trial int, secretSeed gf2.Vec, res *core.Result, seconds fl
 		StopReason: string(res.StopReason),
 		Seconds:    seconds,
 		Solver:     FromSatStats(res.SolverStats),
+
+		EncodeVars:    res.EncodeVars,
+		EncodeClauses: res.EncodeClauses,
 	}
 	for _, c := range res.SeedCandidates {
 		t.SeedCandidates = append(t.SeedCandidates, c.String())

@@ -45,12 +45,22 @@ const (
 	// by violated rows (zero on pure-CNF instances).
 	MetricSatXorPropagations = "dynunlock_sat_xor_propagations_total"
 	MetricSatXorConflicts    = "dynunlock_sat_xor_conflicts_total"
+	// Inprocessing layer (Solver.Simplify, zero unless enabled): clauses
+	// removed as satisfied at the top level and falsified literals
+	// strengthened out of surviving clauses.
+	MetricSatSimplifyRemoved      = "dynunlock_sat_simplify_removed_total"
+	MetricSatSimplifyStrengthened = "dynunlock_sat_simplify_strengthened_total"
 
 	// Attack series (label: engine = sequential | portfolio).
 	MetricAttackDIPs        = "dynunlock_attack_dips_total"
 	MetricAttackQueries     = "dynunlock_attack_oracle_queries_total"
 	MetricAttackIterations  = "dynunlock_attack_iterations"
 	MetricAttackDIPSolveSec = "dynunlock_attack_dip_solve_seconds"
+	// Encoder series (label: engine): CNF growth emitted by circuit-copy
+	// encoding — the initial two key copies plus each DIP-constrained
+	// copy. Clause counts include native XOR rows.
+	MetricEncodeVars    = "dynunlock_encode_vars_total"
+	MetricEncodeClauses = "dynunlock_encode_clauses_total"
 
 	// Portfolio series (label: instance).
 	MetricPortfolioWins = "dynunlock_portfolio_wins_total"

@@ -68,9 +68,16 @@ func New(d *lock.Design, secretSeed gf2.Vec, authKey []bool) (*Chip, error) {
 	if len(authKey) != d.Config.KeyBits {
 		return nil, fmt.Errorf("oracle: auth key width %d, want %d", len(authKey), d.Config.KeyBits)
 	}
+	// The capture-cycle core runs on the AIG fast path when the view
+	// compiles (bit-identical to the gate-level stepper; property tests in
+	// internal/sim and internal/core pin that down).
+	seq, err := sim.NewSeqAIG(d.View)
+	if err != nil {
+		seq = sim.NewSeq(d.View)
+	}
 	c := &Chip{
 		design:     d,
-		seq:        sim.NewSeq(d.View),
+		seq:        seq,
 		secretSeed: secretSeed.Clone(),
 		authKey:    append([]bool(nil), authKey...),
 		flops:      make([]bool, d.Chain.Length),

@@ -134,7 +134,20 @@ func writeLedgerTable(b *strings.Builder, ledger *flight.BenchFile, path string,
 }
 
 func benchConfigString(r flight.BenchRow) string {
-	return fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
+	s := fmt.Sprintf("scale=%d k=%d %s %s pf=%d", r.Scale, r.KeyBits, r.Policy, r.Mode, r.Portfolio)
+	if r.NativeXor {
+		s += " xor"
+	}
+	if r.AIG {
+		s += " aig"
+	}
+	if r.Simplify {
+		s += " simplify"
+	}
+	if r.Analytic {
+		s += " analytic"
+	}
+	return s
 }
 
 // writeBundleSection renders one bundle: summary, trial table, charts,
@@ -150,13 +163,13 @@ func writeBundleSection(b *strings.Builder, idx int, bun *flight.Bundle, opts HT
 		html.EscapeString(m.Benchmark), m.Scale, m.Lock.KeyBits, html.EscapeString(m.Lock.Policy),
 		html.EscapeString(m.Mode), m.Portfolio, m.SeedBase, len(bun.Sessions), len(bun.DIPs))
 
-	// Trial outcomes.
+	// Trial outcomes. Encode columns are zero on pre-v3 bundles.
 	b.WriteString("<table><tr><th>Trial</th><th>Candidates</th><th>Iterations</th><th>Queries</th>" +
-		"<th>Rank</th><th>Seconds</th><th>Conflicts</th><th>Success</th></tr>\n")
+		"<th>Rank</th><th>Seconds</th><th>Conflicts</th><th>Enc vars</th><th>Enc clauses</th><th>Success</th></tr>\n")
 	for _, t := range bun.Result.Trials {
-		fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%d</td><td>%v</td></tr>\n",
+		fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%v</td></tr>\n",
 			t.Trial, len(t.SeedCandidates), t.Iterations, t.Queries, t.Rank,
-			trimFloat(t.Seconds), t.Solver.Conflicts, t.Success)
+			trimFloat(t.Seconds), t.Solver.Conflicts, t.EncodeVars, t.EncodeClauses, t.Success)
 	}
 	b.WriteString("</table>\n")
 

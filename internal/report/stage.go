@@ -55,14 +55,32 @@ func StageTable(title string, spans []trace.SpanRecord) *Table {
 	if _, ok := byName["other"]; ok {
 		order = append(order, "other")
 	}
-	tb := New(title, "Stage", "Calls", "Time (ms)", "Counters")
+	tb := New(title, "Stage", "Calls", "Time (ms)", "Vars", "Clauses", "Counters")
 	for _, name := range order {
 		a := byName[name]
 		// Plain ASCII milliseconds: duration strings mix µ (multibyte) into
 		// the byte-width column alignment.
-		tb.AddRow(name, a.calls, float64(a.total)/float64(time.Millisecond), counterString(a.counters))
+		tb.AddRow(name, a.calls, float64(a.total)/float64(time.Millisecond),
+			encodeCell(a.counters, "vars", "encode_vars"),
+			encodeCell(a.counters, "clauses", "encode_clauses"),
+			counterString(a.counters))
 	}
 	return tb
+}
+
+// encodeCell extracts the encode-size column for a stage: the initial
+// encoder emits "vars"/"clauses", the DIP loop accumulates the per-DIP
+// growth as "encode_vars"/"encode_clauses". The matched key is consumed so
+// the generic counter string does not repeat it; stages without either key
+// render "-".
+func encodeCell(c map[string]uint64, keys ...string) string {
+	for _, k := range keys {
+		if v, ok := c[k]; ok {
+			delete(c, k)
+			return fmt.Sprintf("%d", v)
+		}
+	}
+	return "-"
 }
 
 // counterString renders counters deterministically as "k=v k=v" in key

@@ -1,0 +1,173 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynunlock/internal/cnf"
+)
+
+func mk(v int, neg bool) cnf.Lit { return cnf.MkLit(v, neg) }
+
+func TestSimplifyRemovesSatisfied(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(mk(a, false), mk(b, false), mk(c, false))
+	s.AddClause(mk(a, true), mk(b, false))
+	if got := s.NumClauses(); got != 2 {
+		t.Fatalf("setup: %d clauses", got)
+	}
+	s.AddClause(mk(a, false)) // unit: a = true
+	if !s.Simplify() {
+		t.Fatal("Simplify reported UNSAT")
+	}
+	// Clause 1 is satisfied by a directly; clause 2 propagates to b = true
+	// at the top level and is then satisfied as well, so both disappear.
+	if got := s.NumClauses(); got != 0 {
+		t.Fatalf("after simplify: %d clauses, want 0", got)
+	}
+	if s.Stats.SimplifyRemoved != 2 {
+		t.Fatalf("SimplifyRemoved = %d", s.Stats.SimplifyRemoved)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("formula must stay satisfiable")
+	}
+	if !s.Value(b) {
+		t.Fatal("propagated unit lost")
+	}
+}
+
+func TestSimplifyStrengthens(t *testing.T) {
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(mk(b, false), mk(c, false), mk(a, false), mk(d, false))
+	s.AddClause(mk(a, true)) // a = false: the 4-clause loses a tail literal
+	if !s.Simplify() {
+		t.Fatal("Simplify reported UNSAT")
+	}
+	if s.Stats.SimplifyStrengthened == 0 {
+		t.Fatal("no literal strengthened")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("formula must stay satisfiable")
+	}
+}
+
+func TestSimplifyDetectsUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(mk(a, false))
+	if ok := s.AddClause(mk(a, true)); ok {
+		t.Fatal("contradictory unit accepted")
+	}
+	if s.Simplify() {
+		t.Fatal("Simplify must report UNSAT")
+	}
+}
+
+// Simplify must never change solve outcomes or models on random instances,
+// including across incremental clause additions and assumption solving.
+func TestSimplifyPreservesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 8 + rng.Intn(12)
+		var lits [][]cnf.Lit
+		nc := 3*n/2 + rng.Intn(2*n)
+		for i := 0; i < nc; i++ {
+			w := 1 + rng.Intn(4)
+			cl := make([]cnf.Lit, w)
+			for j := range cl {
+				cl[j] = mk(rng.Intn(n), rng.Intn(2) == 1)
+			}
+			lits = append(lits, cl)
+		}
+		plain, simp := New(), New()
+		for v := 0; v < n; v++ {
+			plain.NewVar()
+			simp.NewVar()
+		}
+		okP, okS := true, true
+		for i, cl := range lits {
+			okP = plain.AddClause(cl...)
+			okS = simp.AddClause(cl...)
+			if i%5 == 4 {
+				okS = simp.Simplify() && okS
+			}
+			if okP != okS {
+				t.Fatalf("trial %d: ok divergence after clause %d: %v vs %v", trial, i, okP, okS)
+			}
+			if !okP {
+				break
+			}
+		}
+		if !okP {
+			continue
+		}
+		simp.Simplify()
+		assume := []cnf.Lit{mk(rng.Intn(n), rng.Intn(2) == 1)}
+		rp, rs := plain.Solve(assume...), simp.Solve(assume...)
+		if rp != rs {
+			t.Fatalf("trial %d: solve divergence %v vs %v", trial, rp, rs)
+		}
+		rp, rs = plain.Solve(), simp.Solve()
+		if rp != rs {
+			t.Fatalf("trial %d: unassumed solve divergence %v vs %v", trial, rp, rs)
+		}
+	}
+}
+
+// Inprocessing between solves of a running instance: solve, assert units,
+// simplify, solve again; the final status must match a fresh solver fed
+// the same clauses.
+func TestSimplifyIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(10)
+		s := New()
+		ref := New()
+		for v := 0; v < n; v++ {
+			s.NewVar()
+			ref.NewVar()
+		}
+		addRandom := func(k int) [][]cnf.Lit {
+			var added [][]cnf.Lit
+			for i := 0; i < k; i++ {
+				w := 2 + rng.Intn(3)
+				cl := make([]cnf.Lit, w)
+				for j := range cl {
+					cl[j] = mk(rng.Intn(n), rng.Intn(2) == 1)
+				}
+				added = append(added, cl)
+			}
+			return added
+		}
+		alive := true
+		for round := 0; round < 4 && alive; round++ {
+			for _, cl := range addRandom(n / 2) {
+				a := s.AddClause(cl...)
+				b := ref.AddClause(cl...)
+				if a != b {
+					t.Fatalf("trial %d: AddClause divergence", trial)
+				}
+				alive = a
+			}
+			if !alive {
+				break
+			}
+			if !s.Simplify() {
+				if ref.Solve() != Unsat {
+					t.Fatalf("trial %d: Simplify UNSAT but reference satisfiable", trial)
+				}
+				alive = false
+				break
+			}
+			got, want := s.Solve(), ref.Solve()
+			if got != want {
+				t.Fatalf("trial %d round %d: %v vs %v", trial, round, got, want)
+			}
+			if got == Unsat {
+				alive = false
+			}
+		}
+	}
+}

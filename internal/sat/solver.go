@@ -78,6 +78,14 @@ type Stats struct {
 	// zero on pure-CNF instances.
 	XorPropagations uint64
 	XorConflicts    uint64
+	// SimplifyCalls counts Solver.Simplify invocations; SimplifyRemoved
+	// counts clauses removed as satisfied at the top level;
+	// SimplifyStrengthened counts falsified literals deleted from
+	// surviving clauses. All are zero unless the caller opts into
+	// inprocessing.
+	SimplifyCalls        uint64
+	SimplifyRemoved      uint64
+	SimplifyStrengthened uint64
 }
 
 // Solver is an incremental CDCL SAT solver. The zero value is not usable;
@@ -217,6 +225,10 @@ func (s *Solver) flushHook() {
 		Removed:         s.Stats.Removed - s.hookMark.Removed,
 		XorPropagations: s.Stats.XorPropagations - s.hookMark.XorPropagations,
 		XorConflicts:    s.Stats.XorConflicts - s.hookMark.XorConflicts,
+
+		SimplifyCalls:        s.Stats.SimplifyCalls - s.hookMark.SimplifyCalls,
+		SimplifyRemoved:      s.Stats.SimplifyRemoved - s.hookMark.SimplifyRemoved,
+		SimplifyStrengthened: s.Stats.SimplifyStrengthened - s.hookMark.SimplifyStrengthened,
 	}
 	s.hookMark = s.Stats
 	h.OnSample(d, len(s.learnts))

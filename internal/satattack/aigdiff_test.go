@@ -1,0 +1,163 @@
+package satattack
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dynunlock/internal/netlist"
+	"dynunlock/internal/sim"
+)
+
+// candidateSet renders a result's enumerated keys as a sorted string set so
+// runs that enumerate in different orders still compare equal.
+func candidateSet(t *testing.T, res *Result) []string {
+	t.Helper()
+	if !res.Converged {
+		t.Fatal("attack did not converge")
+	}
+	if !res.CandidatesExact {
+		t.Fatal("enumeration hit the limit; differential comparison needs the full class")
+	}
+	out := make([]string, len(res.Candidates))
+	for i, c := range res.Candidates {
+		b := make([]byte, len(c))
+		for j, bit := range c {
+			if bit {
+				b[j] = '1'
+			} else {
+				b[j] = '0'
+			}
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eqSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The AIG encode path and level-0 inprocessing change how the CNF is built
+// and maintained, never which keys survive: at miter-UNSAT convergence the
+// consistent-key set is exactly the correct key's functional equivalence
+// class, which is a property of the circuit, not the encoding. This
+// differential fuzz pins that down: every encode variant must enumerate the
+// identical candidate set as the direct zero-options path.
+func TestAIGCandidatesMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"aig", Options{AIG: true}},
+		{"simplify", Options{Simplify: true}},
+		{"aig+simplify", Options{AIG: true, Simplify: true}},
+		{"xor+aig+simplify", Options{NativeXor: true, AIG: true, Simplify: true}},
+	}
+	for trial := 0; trial < 10; trial++ {
+		nIn := 4 + rng.Intn(4)
+		nKeys := 4 + rng.Intn(4)
+		orig, locked, _ := lockedPair(rng, nIn, 30+rng.Intn(50), nKeys)
+		l := NewLocked(locked, func(i int, s netlist.SignalID) bool {
+			return len(locked.N.SignalName(s)) > 0 && locked.N.SignalName(s)[0] == 'k'
+		})
+		limit := 1 << uint(nKeys)
+		base, err := Run(l, &simOracle{c: sim.NewComb(orig)}, Options{EnumerateLimit: limit})
+		if err != nil {
+			t.Fatalf("trial %d direct: %v", trial, err)
+		}
+		want := candidateSet(t, base)
+		for _, v := range variants {
+			opts := v.opts
+			opts.EnumerateLimit = limit
+			res, err := Run(l, &simOracle{c: sim.NewComb(orig)}, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v.name, err)
+			}
+			got := candidateSet(t, res)
+			if !eqSets(want, got) {
+				t.Fatalf("trial %d %s: candidate set diverged from direct\n direct: %v\n %s: %v",
+					trial, v.name, want, v.name, got)
+			}
+			if opts.AIG && res.EncodeClauses == 0 {
+				t.Fatalf("trial %d %s: encode clause accounting missing", trial, v.name)
+			}
+		}
+	}
+}
+
+// Same invariant through the portfolio engine: racing diversified instances
+// over the AIG encode path must land on the direct sequential class.
+func TestAIGPortfolioCandidatesMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 4; trial++ {
+		nIn := 4 + rng.Intn(3)
+		nKeys := 4 + rng.Intn(3)
+		orig, locked, _ := lockedPair(rng, nIn, 30+rng.Intn(40), nKeys)
+		l := NewLocked(locked, func(i int, s netlist.SignalID) bool {
+			return len(locked.N.SignalName(s)) > 0 && locked.N.SignalName(s)[0] == 'k'
+		})
+		limit := 1 << uint(nKeys)
+		base, err := Run(l, &simOracle{c: sim.NewComb(orig)}, Options{EnumerateLimit: limit})
+		if err != nil {
+			t.Fatalf("trial %d direct: %v", trial, err)
+		}
+		want := candidateSet(t, base)
+		for _, pf := range []int{2, 3} {
+			res, err := Run(l, &simOracle{c: sim.NewComb(orig)},
+				Options{Portfolio: pf, AIG: true, Simplify: true, EnumerateLimit: limit})
+			if err != nil {
+				t.Fatalf("trial %d pf=%d: %v", trial, pf, err)
+			}
+			got := candidateSet(t, res)
+			if !eqSets(want, got) {
+				t.Fatalf("trial %d pf=%d: candidate set diverged from direct\n direct: %v\n portfolio: %v",
+					trial, pf, want, got)
+			}
+		}
+	}
+}
+
+// The simplify counters must actually move when inprocessing runs on a
+// multi-DIP attack, and stay zero when it is off — otherwise the manifest
+// provenance field would be meaningless.
+func TestSimplifyCountersAccount(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	var sawCalls bool
+	for trial := 0; trial < 6 && !sawCalls; trial++ {
+		orig, locked, _ := lockedPair(rng, 6, 60, 6)
+		l := NewLocked(locked, func(i int, s netlist.SignalID) bool {
+			return len(locked.N.SignalName(s)) > 0 && locked.N.SignalName(s)[0] == 'k'
+		})
+		res, err := Run(l, &simOracle{c: sim.NewComb(orig)}, Options{Simplify: true, EnumerateLimit: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations > 0 {
+			if res.SolverStats.SimplifyCalls == 0 {
+				t.Fatalf("trial %d: %d DIPs but no simplify calls recorded", trial, res.Iterations)
+			}
+			sawCalls = true
+		}
+		off, err := Run(l, &simOracle{c: sim.NewComb(orig)}, Options{EnumerateLimit: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.SolverStats.SimplifyCalls != 0 {
+			t.Fatalf("trial %d: simplify counters nonzero with Simplify off", trial)
+		}
+	}
+	if !sawCalls {
+		t.Skip("no trial needed a DIP; simplify never had a chance to run")
+	}
+}

@@ -25,6 +25,8 @@ type attackMetrics struct {
 	queries    *metrics.Counter
 	iterations *metrics.Gauge
 	dipSolve   *metrics.Histogram
+	encVars    *metrics.Counter
+	encClauses *metrics.Counter
 }
 
 // newAttackMetrics creates the attack-level series tagged with the engine
@@ -38,7 +40,19 @@ func newAttackMetrics(h *metrics.Handle, engine string) *attackMetrics {
 		queries:    h.Counter(metrics.MetricAttackQueries, "engine", engine),
 		iterations: h.Gauge(metrics.MetricAttackIterations, "engine", engine),
 		dipSolve:   h.Histogram(metrics.MetricAttackDIPSolveSec, dipSolveBuckets, "engine", engine),
+		encVars:    h.Counter(metrics.MetricEncodeVars, "engine", engine),
+		encClauses: h.Counter(metrics.MetricEncodeClauses, "engine", engine),
 	}
+}
+
+// observeEncode records the CNF growth of one encoding step: the initial
+// miter construction or one DIP-constrained circuit-copy pair.
+func (m *attackMetrics) observeEncode(vars, clauses uint64) {
+	if m == nil {
+		return
+	}
+	m.encVars.Add(vars)
+	m.encClauses.Add(clauses)
 }
 
 // observeSolve records one DIP-loop SAT call's wall-clock latency.
@@ -77,6 +91,8 @@ func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
 	removed := h.Counter(metrics.MetricSatRemoved, "instance", inst)
 	xorProp := h.Counter(metrics.MetricSatXorPropagations, "instance", inst)
 	xorConfl := h.Counter(metrics.MetricSatXorConflicts, "instance", inst)
+	simpRemoved := h.Counter(metrics.MetricSatSimplifyRemoved, "instance", inst)
+	simpStrength := h.Counter(metrics.MetricSatSimplifyStrengthened, "instance", inst)
 	db := h.Gauge(metrics.MetricSatLearntDB, "instance", inst)
 	lbd := h.Histogram(metrics.MetricSatLearntLBD, lbdBuckets, "instance", inst)
 	s.SetHook(&sat.Hook{
@@ -89,6 +105,8 @@ func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
 			removed.Add(d.Removed)
 			xorProp.Add(d.XorPropagations)
 			xorConfl.Add(d.XorConflicts)
+			simpRemoved.Add(d.SimplifyRemoved)
+			simpStrength.Add(d.SimplifyStrengthened)
 			db.Set(float64(learntDB))
 		},
 		OnLearnt: func(l int32, size int) {

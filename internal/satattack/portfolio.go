@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"time"
 
+	"dynunlock/internal/aig"
 	"dynunlock/internal/cnf"
 	"dynunlock/internal/encode"
 	"dynunlock/internal/metrics"
@@ -55,11 +56,40 @@ type portfolio struct {
 	// winCtr mirrors wins as live per-instance counters; entries are nil
 	// (no-op) when metrics are disabled.
 	winCtr []*metrics.Counter
+	// aig, when non-nil, is the compacted arena every instance's copies
+	// are encoded from (Options.AIG). The graph is read-only after
+	// construction, so all instances share one.
+	aig *aig.Graph
+	// simplify arms per-instance level-0 inprocessing between DIPs.
+	simplify bool
 }
 
-func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) *portfolio {
+// encodeCopy instantiates one circuit copy on instance in, through the
+// shared AIG when armed and the direct netlist walk otherwise.
+func (p *portfolio) encodeCopy(in *pfInstance, lits []cnf.Lit) []cnf.Lit {
+	if p.aig != nil {
+		return in.e.EncodeAIG(p.aig, lits)
+	}
+	return in.e.EncodeComb(p.l.View, lits)
+}
+
+// emitted snapshots instance 0's problem size (variables; clauses plus
+// native XOR rows) for encode-growth accounting.
+func (p *portfolio) emitted() (uint64, uint64) {
+	s := p.insts[0].s
+	return uint64(s.NumVars()), uint64(s.NumClauses() + s.NumXors())
+}
+
+func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) (*portfolio, error) {
 	n := opts.Portfolio
-	p := &portfolio{l: l, wins: make([]int, n)}
+	p := &portfolio{l: l, wins: make([]int, n), simplify: opts.Simplify}
+	if opts.AIG {
+		g, err := aig.FromCombView(l.View)
+		if err != nil {
+			return nil, err
+		}
+		p.aig = g
+	}
 	for i := 0; i < n; i++ {
 		s := sat.NewWithConfig(sat.Diversify(i))
 		s.ConflictBudget = opts.ConflictBudget
@@ -73,8 +103,8 @@ func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) *portfolio {
 			k1: e.FreshVec(len(l.KeyIdx)),
 			k2: e.FreshVec(len(l.KeyIdx)),
 		}
-		y1 := e.EncodeComb(l.View, l.assemble(e, in.x, in.k1))
-		y2 := e.EncodeComb(l.View, l.assemble(e, in.x, in.k2))
+		y1 := p.encodeCopy(in, l.assemble(e, in.x, in.k1))
+		y2 := p.encodeCopy(in, l.assemble(e, in.x, in.k2))
 		in.miter = e.Miter(y1, y2)
 		for _, ks := range [][]cnf.Lit{in.k1, in.k2} {
 			for _, kl := range ks {
@@ -83,7 +113,7 @@ func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) *portfolio {
 		}
 		p.insts = append(p.insts, in)
 	}
-	return p
+	return p, nil
 }
 
 // race runs one SAT call on every instance concurrently and returns the
@@ -133,13 +163,17 @@ func (p *portfolio) race(ctx context.Context, withMiter bool) (int, sat.Status) 
 
 // replayDIP asserts the oracle's response for a distinguishing input on
 // both key copies of every instance — the same constraint the sequential
-// engine adds, issued N times.
-func (p *portfolio) replayDIP(dip, resp []bool) {
+// engine adds, issued N times. It returns instance 0's problem-size
+// growth (encoding is deterministic, so every instance grows alike).
+func (p *portfolio) replayDIP(dip, resp []bool) (dVars, dClauses uint64) {
+	ev0, ec0 := p.emitted()
 	for _, in := range p.insts {
 		cx := in.e.ConstVec(dip)
-		in.e.AssertEqualConst(in.e.EncodeComb(p.l.View, p.l.assemble(in.e, cx, in.k1)), resp)
-		in.e.AssertEqualConst(in.e.EncodeComb(p.l.View, p.l.assemble(in.e, cx, in.k2)), resp)
+		in.e.AssertEqualConst(p.encodeCopy(in, p.l.assemble(in.e, cx, in.k1)), resp)
+		in.e.AssertEqualConst(p.encodeCopy(in, p.l.assemble(in.e, cx, in.k2)), resp)
 	}
+	ev1, ec1 := p.emitted()
+	return ev1 - ev0, ec1 - ec0
 }
 
 // block adds a blocking clause for key k to every instance. It reports
@@ -175,6 +209,9 @@ func (p *portfolio) statsSum() sat.Stats {
 		sum.Removed += in.s.Stats.Removed
 		sum.XorPropagations += in.s.Stats.XorPropagations
 		sum.XorConflicts += in.s.Stats.XorConflicts
+		sum.SimplifyCalls += in.s.Stats.SimplifyCalls
+		sum.SimplifyRemoved += in.s.Stats.SimplifyRemoved
+		sum.SimplifyStrengthened += in.s.Stats.SimplifyStrengthened
 	}
 	return sum
 }
@@ -188,13 +225,22 @@ func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Resu
 	start := time.Now()
 
 	enc := tr.Start("encode")
-	p := newPortfolio(l, opts, mh)
+	p, err := newPortfolio(l, opts, mh)
+	if err != nil {
+		enc.End()
+		return nil, err
+	}
 	enc.Add("instances", uint64(len(p.insts)))
 	enc.Add("vars", uint64(p.insts[0].s.NumVars()))
 	enc.Add("clauses", uint64(p.insts[0].s.NumClauses()))
+	if p.aig != nil {
+		enc.Add("aig_nodes", uint64(p.aig.NumNodes()))
+	}
 	enc.End()
 
 	res := &Result{}
+	res.EncodeVars, res.EncodeClauses = p.emitted()
+	am.observeEncode(res.EncodeVars, res.EncodeClauses)
 	finish := func(reason StopReason) *Result {
 		if reason != StopNone {
 			res.Stopped = true
@@ -211,10 +257,13 @@ func runPortfolio(ctx context.Context, l *Locked, o Oracle, opts Options) (*Resu
 
 	loop := tr.Start("dip_loop")
 	loopMark := p.statsSum()
+	var loopEncV, loopEncC uint64
 	endLoop := func() {
 		addStatsDelta(loop, loopMark, p.statsSum())
 		loop.Add("dips", uint64(res.Iterations))
 		loop.Add("oracle_queries", uint64(res.Queries))
+		loop.Add("encode_vars", loopEncV)
+		loop.Add("encode_clauses", loopEncC)
 		loop.End()
 	}
 	stop := StopNone
@@ -261,7 +310,12 @@ dipLoop:
 			if opts.OnDIP != nil {
 				opts.OnDIP(res.Iterations, dip, resp, p.statsSum(), solveT1.Sub(solveT0))
 			}
-			p.replayDIP(dip, resp)
+			dv, dc := p.replayDIP(dip, resp)
+			res.EncodeVars += dv
+			res.EncodeClauses += dc
+			loopEncV += dv
+			loopEncC += dc
+			am.observeEncode(dv, dc)
 			if opts.Insight != nil {
 				// Replay the certified rows into every instance so all
 				// clause databases stay logically equivalent and any
@@ -276,6 +330,14 @@ dipLoop:
 					res.Analytic = true
 					res.Converged = true
 					break dipLoop
+				}
+			}
+			if p.simplify {
+				// Per-instance level-0 inprocessing: clause databases differ
+				// (learnts diverge between instances) but each rewrite is
+				// equivalence-preserving, so the race stays fair.
+				for _, in := range p.insts {
+					in.s.Simplify()
 				}
 			}
 			tr.Progressf("iter %d: dip=%s inst=%d clauses=%d",

@@ -20,6 +20,7 @@ import (
 	"io"
 	"time"
 
+	"dynunlock/internal/aig"
 	"dynunlock/internal/cnf"
 	"dynunlock/internal/encode"
 	"dynunlock/internal/metrics"
@@ -125,6 +126,21 @@ type Options struct {
 	// Tseitin clauses (encode.Config.NativeXor). Off by default so recorded
 	// bundles replay bit-identically; the CLIs enable it.
 	NativeXor bool
+	// AIG routes every circuit copy through the two-stage pipeline: the
+	// locked view is compiled once into an arena AIG (structural hashing,
+	// constant folding, cone-of-influence restriction; internal/aig) and
+	// each copy — the two fresh-key copies and every DIP-constrained copy —
+	// replays the compacted arena via encode.EncodeAIG, collapsing under
+	// its constant inputs before any clause is emitted. Off by default for
+	// bundle replay compatibility (the NativeXor precedent); the CLIs
+	// enable it.
+	AIG bool
+	// Simplify runs level-0 solver inprocessing (sat.Solver.Simplify)
+	// after each DIP's constraints are asserted: clauses satisfied by the
+	// accumulated top-level units are removed and the rest strengthened.
+	// Equivalence-preserving, so candidate sets are unchanged. Off by
+	// default; the CLIs enable it.
+	Simplify bool
 	// Insight, when non-nil, closes the insight→solver feedback loop:
 	// after each DIP the freshly certified key constraints are injected
 	// into the solver(s) as XOR rows, and once the source determines the
@@ -237,6 +253,14 @@ type Result struct {
 	Analytic bool
 	// Elapsed is the wall-clock attack time.
 	Elapsed time.Duration
+	// EncodeVars and EncodeClauses total the CNF growth emitted by circuit
+	// encoding — the initial miter plus every DIP-constrained copy pair —
+	// on one instance (instance 0 under a portfolio; encoding is
+	// deterministic and identical across instances). Clause counts include
+	// native XOR rows. These are the measured evidence for the AIG
+	// pipeline's structural compaction.
+	EncodeVars    uint64
+	EncodeClauses uint64
 	// SolverStats snapshots the SAT solver counters. Under a portfolio it
 	// is the sum over all instances (total work, not critical-path work).
 	SolverStats sat.Stats
@@ -293,12 +317,33 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 	installSolverMetrics(mh, s, 0)
 	e := encode.NewWithConfig(s, encode.Config{NativeXor: opts.NativeXor})
 
+	// Stage one of the AIG pipeline: compile the locked view once into a
+	// compacted arena shared by every circuit copy this attack emits.
+	var g *aig.Graph
+	if opts.AIG {
+		var err error
+		g, err = aig.FromCombView(l.View)
+		if err != nil {
+			return nil, err
+		}
+		enc.Add("aig_nodes", uint64(g.NumNodes()))
+	}
+	encodeCopy := func(in []cnf.Lit) []cnf.Lit {
+		if g != nil {
+			return e.EncodeAIG(g, in)
+		}
+		return e.EncodeComb(l.View, in)
+	}
+	emitted := func() (uint64, uint64) {
+		return uint64(s.NumVars()), uint64(s.NumClauses() + s.NumXors())
+	}
+
 	x := e.FreshVec(len(l.InIdx))
 	k1 := e.FreshVec(len(l.KeyIdx))
 	k2 := e.FreshVec(len(l.KeyIdx))
 
-	y1 := e.EncodeComb(l.View, l.assemble(e, x, k1))
-	y2 := e.EncodeComb(l.View, l.assemble(e, x, k2))
+	y1 := encodeCopy(l.assemble(e, x, k1))
+	y2 := encodeCopy(l.assemble(e, x, k2))
 	miter := e.Miter(y1, y2)
 
 	// Branch on key variables first: the miter search closes fastest when
@@ -308,11 +353,13 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 			s.BumpActivity(kl.Var(), 1)
 		}
 	}
+	res := &Result{}
+	res.EncodeVars, res.EncodeClauses = emitted()
+	am.observeEncode(res.EncodeVars, res.EncodeClauses)
 	enc.Add("vars", uint64(s.NumVars()))
 	enc.Add("clauses", uint64(s.NumClauses()))
 	enc.End()
 
-	res := &Result{}
 	finish := func(reason StopReason, solves int) *Result {
 		if reason != StopNone {
 			res.Stopped = true
@@ -328,10 +375,13 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 	solves := 0
 	loop := tr.Start("dip_loop")
 	loopMark := s.Stats
+	var loopEncV, loopEncC uint64
 	endLoop := func() {
 		addStatsDelta(loop, loopMark, s.Stats)
 		loop.Add("dips", uint64(res.Iterations))
 		loop.Add("oracle_queries", uint64(res.Queries))
+		loop.Add("encode_vars", loopEncV)
+		loop.Add("encode_clauses", loopEncC)
 		loop.End()
 	}
 	stop := StopNone
@@ -381,8 +431,15 @@ dipLoop:
 				opts.OnDIP(res.Iterations, dip, resp, s.Stats, solveT1.Sub(solveT0))
 			}
 			cx := e.ConstVec(dip)
-			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k1)), resp)
-			e.AssertEqualConst(e.EncodeComb(l.View, l.assemble(e, cx, k2)), resp)
+			ev0, ec0 := emitted()
+			e.AssertEqualConst(encodeCopy(l.assemble(e, cx, k1)), resp)
+			e.AssertEqualConst(encodeCopy(l.assemble(e, cx, k2)), resp)
+			ev1, ec1 := emitted()
+			res.EncodeVars += ev1 - ev0
+			res.EncodeClauses += ec1 - ec0
+			loopEncV += ev1 - ev0
+			loopEncC += ec1 - ec0
+			am.observeEncode(ev1-ev0, ec1-ec0)
 			if opts.Insight != nil {
 				// The OnDIP chain above let the insight source observe this
 				// response; its new rows are linear consequences of the
@@ -397,6 +454,12 @@ dipLoop:
 					res.Converged = true
 					break dipLoop
 				}
+			}
+			if opts.Simplify {
+				// Level-0 inprocessing between DIPs: the response units just
+				// asserted satisfy or shorten clauses of earlier copies. An
+				// UNSAT result here surfaces on the next solve.
+				s.Simplify()
 			}
 			tr.Progressf("iter %d: dip=%s clauses=%d conflicts=%d",
 				res.Iterations, bitString(dip), s.NumClauses(), s.Stats.Conflicts)
@@ -467,6 +530,8 @@ func addStatsDelta(sp *trace.Span, from, to sat.Stats) {
 	sp.Add("restarts", to.Restarts-from.Restarts)
 	sp.Add("xor_propagations", to.XorPropagations-from.XorPropagations)
 	sp.Add("xor_conflicts", to.XorConflicts-from.XorConflicts)
+	sp.Add("simplify_removed", to.SimplifyRemoved-from.SimplifyRemoved)
+	sp.Add("simplify_strengthened", to.SimplifyStrengthened-from.SimplifyStrengthened)
 }
 
 // injectInsight adds certified key constraints to the solver as XOR rows

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"dynunlock/internal/aig"
+	"dynunlock/internal/netlist"
+)
+
+// AIGComb is the AIG fast path of the combinational simulator: the view is
+// compiled once into a compacted arena (structural hashing, constant
+// folding, cone-of-influence restriction) and evaluation sweeps the flat
+// node slice instead of chasing netlist fanin lists. Results are
+// bit-identical to Comb on every pattern; only the traversal cost differs.
+type AIGComb struct {
+	view *netlist.CombView
+	sim  *aig.Sim
+}
+
+// NewAIGComb compiles v and returns its fast-path simulator.
+func NewAIGComb(v *netlist.CombView) (*AIGComb, error) {
+	g, err := aig.FromCombView(v)
+	if err != nil {
+		return nil, err
+	}
+	return &AIGComb{view: v, sim: aig.NewSim(g)}, nil
+}
+
+// View returns the underlying combinational view.
+func (c *AIGComb) View() *netlist.CombView { return c.view }
+
+// Eval evaluates 64 patterns at once, like Comb.Eval.
+func (c *AIGComb) Eval(inputs []uint64) []uint64 { return c.sim.Eval(inputs) }
+
+// EvalBits evaluates a single pattern of bools.
+func (c *AIGComb) EvalBits(in []bool) []bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	out := c.Eval(words)
+	bits := make([]bool, len(out))
+	for i, w := range out {
+		bits[i] = w&1 == 1
+	}
+	return bits
+}
+
+// NewSeqAIG builds a sequential simulator whose combinational core runs on
+// the AIG fast path. Functionally identical to NewSeq.
+func NewSeqAIG(v *netlist.CombView) (*Seq, error) {
+	c, err := NewAIGComb(v)
+	if err != nil {
+		return nil, err
+	}
+	return &Seq{comb: c, state: make([]bool, len(v.N.DFFs()))}, nil
+}

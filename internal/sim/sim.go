@@ -117,10 +117,17 @@ func (c *Comb) EvalBits(in []bool) []bool {
 	return bits
 }
 
+// combEval is the combinational core a Seq steps: the gate-level Comb or
+// the AIG fast path (AIGComb).
+type combEval interface {
+	EvalBits(in []bool) []bool
+	View() *netlist.CombView
+}
+
 // Seq is a cycle-accurate sequential simulator: it holds the flip-flop
 // state and advances one functional clock per Step.
 type Seq struct {
-	comb  *Comb
+	comb  combEval
 	state []bool // one per DFF, in netlist.DFFs() order
 }
 
@@ -151,20 +158,20 @@ func (s *Seq) SetState(st []bool) {
 // current state, without advancing the clock.
 func (s *Seq) Outputs(pi []bool) []bool {
 	out := s.evalAll(pi)
-	return out[:s.comb.view.NumPO]
+	return out[:s.comb.View().NumPO]
 }
 
 // Step applies pi for one clock cycle: primary outputs are sampled before
 // the edge, then the state advances to the next-state values.
 func (s *Seq) Step(pi []bool) (po []bool) {
 	out := s.evalAll(pi)
-	po = append([]bool(nil), out[:s.comb.view.NumPO]...)
-	copy(s.state, out[s.comb.view.NumPO:])
+	po = append([]bool(nil), out[:s.comb.View().NumPO]...)
+	copy(s.state, out[s.comb.View().NumPO:])
 	return po
 }
 
 func (s *Seq) evalAll(pi []bool) []bool {
-	v := s.comb.view
+	v := s.comb.View()
 	if len(pi) != v.NumPI {
 		panic(fmt.Sprintf("sim: got %d PIs, want %d", len(pi), v.NumPI))
 	}
