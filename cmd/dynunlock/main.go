@@ -14,10 +14,14 @@
 // (see internal/trace.JSONLSink for the schema).
 //
 // -metrics-addr serves live Prometheus metrics at /metrics, an expvar-style
-// JSON snapshot at /debug/vars, and pprof profiles at /debug/pprof/ while
-// the attack runs. -progress[=interval] prints a one-line status snapshot
-// to stderr (and, with -trace, emits the same as "snapshot" events).
-// Neither flag changes attack behavior: with both unset the run is
+// JSON snapshot at /debug/vars, pprof profiles at /debug/pprof/, a live SSE
+// event feed at /events (deltas, DIPs, insight updates, stage spans — see
+// internal/stream), and an in-browser dashboard at /live while the attack
+// runs; `runs watch ADDR` follows the same feed from a terminal.
+// -progress[=interval] prints a one-line status snapshot to stderr
+// (-progress=json swaps the line for a stream-schema delta event, one JSON
+// object per line; with -trace the same snapshot is emitted as "snapshot"
+// events). Neither flag changes attack behavior: with both unset the run is
 // bit-identical to an uninstrumented one.
 package main
 
@@ -27,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +41,7 @@ import (
 	"dynunlock/internal/flight"
 	"dynunlock/internal/metrics"
 	"dynunlock/internal/report"
+	"dynunlock/internal/stream"
 	"dynunlock/internal/trace"
 )
 
@@ -64,7 +71,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 		progress    metrics.ProgressFlag
 	)
-	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (optionally -progress=500ms)")
+	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (-progress=500ms for cadence, -progress=json for stream-schema delta lines)")
 	flag.Parse()
 
 	if *list {
@@ -148,6 +155,15 @@ func main() {
 	} else if *profile {
 		fatalf("-profile requires -record: profiles are stored inside the bundle")
 	}
+	// The event bus backs /events and /live; it only exists alongside a
+	// metrics server, and an idle bus (no subscribers) costs one atomic
+	// load per publish point.
+	var bus *stream.Bus
+	if *metricsAddr != "" {
+		bus = stream.NewBus()
+		cfg.Stream = bus
+		sinks = append(sinks, trace.NewStreamSink(bus))
+	}
 	ctx = trace.With(ctx, trace.Multi(sinks...))
 
 	// Metrics are opt-in: without -metrics-addr, -progress, or -record no
@@ -156,21 +172,36 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsAddr != "" || progress.Interval > 0 || rec != nil {
 		reg = metrics.NewRegistry()
+		reg.SetBuildInfo(buildInfoLabels()...)
 		ctx = metrics.With(ctx, reg)
 		ctx = metrics.WithLabels(ctx, "benchmark", cfg.Benchmark)
 	}
 	if *metricsAddr != "" {
-		srv, err := metrics.Serve(*metricsAddr, reg)
+		srv, err := metrics.ServeBus(*metricsAddr, reg, bus)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		// Drain in-flight scrapes on exit so a Prometheus poll racing the
-		// end of the run still gets its sample.
+		// end of the run still gets its sample; SSE streams flush their
+		// buffered events plus one terminal snapshot before closing.
 		defer srv.Shutdown(2 * time.Second)
-		fmt.Fprintf(os.Stderr, "dynunlock: serving metrics on http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "dynunlock: serving metrics on http://%s/metrics (live: /events, /live)\n", srv.Addr())
 	}
-	if progress.Interval > 0 {
-		p := metrics.NewProgress(reg, progress.Interval, os.Stderr, trace.From(ctx))
+	// With an event bus the periodic sampler always runs — it is the
+	// feed's only "delta" source — writing to stderr only when -progress
+	// asked for it.
+	if progress.Interval > 0 || bus != nil {
+		interval := progress.Interval
+		if interval <= 0 {
+			interval = metrics.DefaultProgressInterval
+		}
+		w := io.Writer(io.Discard)
+		if progress.Interval > 0 {
+			w = os.Stderr
+		}
+		p := metrics.NewProgress(reg, interval, w, trace.From(ctx))
+		p.SetJSON(progress.JSON)
+		p.AttachStream(bus)
 		p.Start()
 		defer p.Stop()
 	}
@@ -209,6 +240,19 @@ func main() {
 	}
 	if !res.AllSucceeded() {
 		os.Exit(1)
+	}
+}
+
+// buildInfoLabels describes this binary for the dynunlock_build_info
+// gauge: toolchain and bundle-format versions plus the compiled-in
+// defaults of the encode flags (what a bare invocation runs with).
+func buildInfoLabels() []string {
+	return []string{
+		"goversion", runtime.Version(),
+		"format", strconv.Itoa(flight.FormatVersion),
+		"native_xor", flag.Lookup("native-xor").DefValue,
+		"aig", flag.Lookup("aig").DefValue,
+		"simplify", flag.Lookup("simplify").DefValue,
 	}
 }
 

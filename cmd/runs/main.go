@@ -11,6 +11,7 @@
 //	runs baseline [-bench FILE] <bundle>  compare a bundle to its ledger baseline row
 //	runs report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
 //	                                    render bundles into a self-contained HTML report
+//	runs watch <addr>                   follow a live run's /events feed in the terminal
 //
 // Exit codes are uniform across subcommands so scripts and CI can tell the
 // failure classes apart:
@@ -82,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdBaseline(rest, stdout, stderr)
 	case "report":
 		return cmdReport(rest, stdout, stderr)
+	case "watch":
+		return cmdWatch(rest, stdout, stderr)
 	}
 	return usage(stderr)
 }
@@ -97,9 +100,10 @@ func usage(stderr io.Writer) int {
   baseline [-bench FILE] <bundle> compare a bundle to its ledger baseline
   report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
                                   render bundles into one self-contained HTML report
+  watch <addr>                    follow a live run's /events feed in the terminal
 
 exit codes: 0 ok/match · 1 mismatch (replay divergence, diff or baseline
-mismatch) · 2 usage · 3 corrupt or unreadable bundle/ledger`)
+mismatch) · 2 usage · 3 corrupt or unreadable bundle/ledger/event stream`)
 	return exitUsage
 }
 

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dynunlock/internal/metrics"
+	"dynunlock/internal/stream"
+)
+
+// cmdWatch follows a live run's /events feed (see internal/stream and
+// internal/metrics.ServeBus), rendering each event as one terminal line.
+// It is the headless sibling of the /live dashboard: the delta lines are a
+// superset of the -progress line (they add encode vars/clauses), and the
+// stream's terminal "result" event with scope "experiment" ends the watch
+// with exit 0. A connection failure, non-SSE response, corrupt frame, or a
+// stream that ends before the run finishes exits 3 (corrupt), matching the
+// bundle subcommands.
+func cmdWatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: runs watch <addr>  (e.g. 127.0.0.1:9090 or http://host:9090/events)")
+		return exitUsage
+	}
+	url := watchURL(fs.Arg(0))
+
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(stderr, "runs: watch %s: %v\n", url, err)
+		return exitCorrupt
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "runs: watch %s: %s\n", url, resp.Status)
+		return exitCorrupt
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		fmt.Fprintf(stderr, "runs: watch %s: not an event stream (Content-Type %q)\n", url, ct)
+		return exitCorrupt
+	}
+	return watchStream(resp.Body, stdout, stderr)
+}
+
+// watchStream renders a decoded event stream; split from cmdWatch so tests
+// can drive it from a recorded stream without a server.
+func watchStream(r io.Reader, stdout, stderr io.Writer) int {
+	dec := stream.NewDecoder(r)
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			fmt.Fprintln(stderr, "runs: watch: stream ended before the run finished")
+			return exitCorrupt
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "runs: watch: %v\n", err)
+			return exitCorrupt
+		}
+		if done := renderEvent(stdout, ev); done {
+			return exitOK
+		}
+	}
+}
+
+// renderEvent prints one line per event and reports whether the stream
+// reached its terminal experiment result.
+func renderEvent(w io.Writer, ev stream.Event) (done bool) {
+	switch ev.Type {
+	case stream.TypeHello:
+		line := fmt.Sprintf("watch: connected proto=%v last_seq=%v", ev.Data["proto"], ev.Data["last_seq"])
+		if gap, _ := ev.Data["gap"].(bool); gap {
+			line += " (gap: ring evicted events before our resume point)"
+		}
+		fmt.Fprintln(w, line)
+	case stream.TypeSnapshot:
+		fmt.Fprintf(w, "snapshot: iters=%.0f conflicts=%.0f props=%.0f cycles=%.0f\n",
+			sumFamily(ev.Data, metrics.MetricAttackDIPs),
+			sumFamily(ev.Data, metrics.MetricSatConflicts),
+			sumFamily(ev.Data, metrics.MetricSatPropagations),
+			sumFamily(ev.Data, metrics.MetricOracleCycles))
+	case stream.TypeDelta:
+		fmt.Fprintln(w, deltaLine(ev.Data))
+	case stream.TypeDIP:
+		fmt.Fprintf(w, "dip: trial=%v iter=%v conflicts=%v solve_ms=%s\n",
+			ev.Data["trial"], ev.Data["iteration"], ev.Data["conflicts"], numStr(ev.Data["solve_ms"]))
+	case stream.TypeInsight:
+		fmt.Fprintf(w, "insight: rank=%v/%v seeds=2^%v\n",
+			ev.Data["rank"], ev.Data["rank_target"], ev.Data["seeds_log2"])
+	case stream.TypeSpan:
+		fmt.Fprintf(w, "span: %v %sms\n", ev.Data["span"], numStr(ev.Data["dur_ms"]))
+	case stream.TypeResult:
+		scope, _ := ev.Data["scope"].(string)
+		if scope == "experiment" {
+			fmt.Fprintf(w, "result: experiment done trials=%v succeeded=%v stopped=%v\n",
+				ev.Data["trials_run"], ev.Data["succeeded"], ev.Data["stopped"])
+			return true
+		}
+		fmt.Fprintf(w, "result: trial done iterations=%v candidates=%v converged=%v verified=%v\n",
+			ev.Data["iterations"], ev.Data["candidates"], ev.Data["converged"], ev.Data["verified"])
+	}
+	return false
+}
+
+// deltaLine is the watch rendering of one periodic delta: a superset of
+// the -progress stderr line that additionally shows encode growth.
+func deltaLine(d map[string]any) string {
+	var b strings.Builder
+	b.WriteString("progress:")
+	field := func(label, key, format string) {
+		if v, ok := d[key].(float64); ok {
+			fmt.Fprintf(&b, " "+label+"="+format, v)
+		}
+	}
+	field("iters", "iterations", "%.0f")
+	field("conflicts", "conflicts", "%.0f")
+	field("conf/s", "conflicts_per_s", "%.0f")
+	field("props", "propagations", "%.0f")
+	field("props/s", "props_per_s", "%.0f")
+	field("learnt", "learnt_db", "%.0f")
+	field("cycles", "oracle_cycles", "%.0f")
+	field("vars", "encode_vars", "%.0f")
+	field("clauses", "encode_clauses", "%.0f")
+	if rank, ok := d["rank"].(float64); ok {
+		target, _ := d["rank_target"].(float64)
+		fmt.Fprintf(&b, " rank=%.0f/%.0f", rank, target)
+	}
+	field("seeds", "seeds_log2", "2^%.0f")
+	if eta, ok := d["eta_s"].(float64); ok {
+		fmt.Fprintf(&b, " eta=%s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+	}
+	return b.String()
+}
+
+// sumFamily totals a snapshot metric family: the bare series name or any
+// labeled child ("name{label=...}").
+func sumFamily(data map[string]any, name string) float64 {
+	var total float64
+	for k, v := range data {
+		if k != name && !strings.HasPrefix(k, name+"{") {
+			continue
+		}
+		if f, ok := v.(float64); ok {
+			total += f
+		}
+	}
+	return total
+}
+
+// numStr renders a JSON number compactly; non-numbers render as "?".
+func numStr(v any) string {
+	f, ok := v.(float64)
+	if !ok {
+		return "?"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", f), "0"), ".")
+}
+
+// watchURL normalizes a watch target: a bare host:port gets the scheme and
+// the /events path; explicit URLs pass through.
+func watchURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if !strings.HasSuffix(addr, "/events") {
+		addr = strings.TrimRight(addr, "/") + "/events"
+	}
+	return addr
+}

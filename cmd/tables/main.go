@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 
 	"dynunlock"
@@ -38,6 +39,7 @@ import (
 	"dynunlock/internal/oracle"
 	"dynunlock/internal/report"
 	"dynunlock/internal/scansat"
+	"dynunlock/internal/stream"
 	"dynunlock/internal/trace"
 )
 
@@ -64,7 +66,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running")
 		progress    metrics.ProgressFlag
 	)
-	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (optionally -progress=500ms)")
+	flag.Var(&progress, "progress", "print periodic progress snapshots to stderr (-progress=500ms for cadence, -progress=json for stream-schema delta lines)")
 	flag.Parse()
 	var logw io.Writer
 	if *v {
@@ -85,14 +87,23 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The event bus backs /events and /live; it only exists alongside a
+	// metrics server, and an idle bus is one atomic load per publish point.
+	var bus *stream.Bus
+	if *metricsAddr != "" {
+		bus = stream.NewBus()
+	}
+	var sinks []trace.Sink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer f.Close()
-		ctx = trace.With(ctx, trace.NewJSONLSink(f))
+		sinks = append(sinks, trace.NewJSONLSink(f))
 	}
+	sinks = append(sinks, trace.NewStreamSink(bus)) // nil bus drops to nil sink
+	ctx = trace.With(ctx, trace.Multi(sinks...))
 
 	// Metrics are opt-in; the sweep closures add a per-benchmark label so
 	// every downstream series is tagged with its table condition. Recording
@@ -100,20 +111,35 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsAddr != "" || progress.Interval > 0 || *recordDir != "" {
 		reg = metrics.NewRegistry()
+		reg.SetBuildInfo(buildInfoLabels()...)
 		ctx = metrics.With(ctx, reg)
 	}
 	if *metricsAddr != "" {
-		srv, err := metrics.Serve(*metricsAddr, reg)
+		srv, err := metrics.ServeBus(*metricsAddr, reg, bus)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		// Drain in-flight scrapes on exit so a Prometheus poll racing the
-		// end of the run still gets its sample.
+		// end of the run still gets its sample; SSE streams flush their
+		// buffered events plus one terminal snapshot before closing.
 		defer srv.Shutdown(2 * time.Second)
-		fmt.Fprintf(os.Stderr, "tables: serving metrics on http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "tables: serving metrics on http://%s/metrics (live: /events, /live)\n", srv.Addr())
 	}
-	if progress.Interval > 0 {
-		p := metrics.NewProgress(reg, progress.Interval, os.Stderr, trace.From(ctx))
+	// With an event bus the periodic sampler always runs — it is the
+	// feed's only "delta" source — writing to stderr only when -progress
+	// asked for it.
+	if progress.Interval > 0 || bus != nil {
+		interval := progress.Interval
+		if interval <= 0 {
+			interval = metrics.DefaultProgressInterval
+		}
+		w := io.Writer(io.Discard)
+		if progress.Interval > 0 {
+			w = os.Stderr
+		}
+		p := metrics.NewProgress(reg, interval, w, trace.From(ctx))
+		p.SetJSON(progress.JSON)
+		p.AttachStream(bus)
 		p.Start()
 		defer p.Stop()
 	}
@@ -141,9 +167,9 @@ func main() {
 	case 1:
 		rows, err = table1(ctx, *scale, *portfolio, workers, variant, logw)
 	case 2:
-		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, logw)
+		rows, err = table2(ctx, *scale, *trials, *kbits, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, bus, logw)
 	case 3:
-		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, logw)
+		rows, err = table3(ctx, *scale, *trials, *portfolio, *maxIters, workers, *recordDir, *profile, variant, reg, bus, logw)
 	default:
 		fmt.Fprintf(os.Stderr, "tables: no table %d in the paper\n", *table)
 		os.Exit(2)
@@ -405,7 +431,7 @@ func recordCondition(ctx context.Context, dir, name string, profile bool, reg *m
 }
 
 // table2 reproduces Table II: ten benchmarks, 128-bit dynamic keys.
-func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, bus *stream.Bus, logw io.Writer) ([]condRow, error) {
 	title := fmt.Sprintf("Table II: scan locked circuits with %d-bit dynamic keys (EFF-Dyn, %d trial(s)", keyBits, trials)
 	if scale > 1 {
 		title += fmt.Sprintf(", circuits and keys scaled 1/%d", scale)
@@ -431,6 +457,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 			AIG:           variant.aig,
 			Simplify:      variant.simplify,
 			Analytic:      variant.analytic,
+			Stream:        bus,
 			Log:           logw,
 		}
 		var finish func() error
@@ -471,7 +498,7 @@ func table2(ctx context.Context, scale, trials, keyBits, portfolio, maxIters, wo
 
 // table3 reproduces Table III: key-size sweep on the three largest
 // benchmarks.
-func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, logw io.Writer) ([]condRow, error) {
+func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int, recordDir string, profile bool, variant attackVariant, reg *metrics.Registry, bus *stream.Bus, logw io.Writer) ([]condRow, error) {
 	benches := []string{"s38584", "s38417", "s35932"}
 	title := "Table III: larger keys on the three largest benchmarks"
 	if scale > 1 {
@@ -507,6 +534,7 @@ func table3(ctx context.Context, scale, trials, portfolio, maxIters, workers int
 			AIG:           variant.aig,
 			Simplify:      variant.simplify,
 			Analytic:      variant.analytic,
+			Stream:        bus,
 			Log:           logw,
 		}
 		var finish func() error
@@ -563,6 +591,19 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// buildInfoLabels describes this binary for the dynunlock_build_info
+// gauge: toolchain and bundle-format versions plus the compiled-in
+// defaults of the encode flags (what a bare invocation runs with).
+func buildInfoLabels() []string {
+	return []string{
+		"goversion", runtime.Version(),
+		"format", strconv.Itoa(flight.FormatVersion),
+		"native_xor", flag.Lookup("native-xor").DefValue,
+		"aig", flag.Lookup("aig").DefValue,
+		"simplify", flag.Lookup("simplify").DefValue,
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

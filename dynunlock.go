@@ -22,6 +22,7 @@ import (
 	"dynunlock/internal/sat"
 	"dynunlock/internal/satattack"
 	"dynunlock/internal/scan"
+	"dynunlock/internal/stream"
 	"dynunlock/internal/trace"
 )
 
@@ -100,6 +101,12 @@ type ExperimentConfig struct {
 	// outcome is appended to result.json. Nil costs nothing — the attack
 	// path is untouched.
 	Recorder *flight.Recorder
+	// Stream, when non-nil, publishes live attack events to the bus: one
+	// "dip" event per DIP iteration and a terminal "result" via the trace
+	// layer. With no subscribers attached the publish path is a single
+	// atomic load and allocates nothing, so an idle bus never perturbs the
+	// attack (pinned by TestStreamDoesNotPerturbAttack).
+	Stream *stream.Bus
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -371,6 +378,9 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 				fmt.Fprintf(cfg.Log, "insight tracker disabled: %v\n", err)
 			}
 		}
+		if cfg.Stream != nil {
+			opts.OnDIP = satattack.ChainObservers(opts.OnDIP, dipPublisher(cfg.Stream, trial))
+		}
 		start := time.Now()
 		atk, err := core.AttackCtx(ctx, atkChip, opts)
 		if err != nil {
@@ -411,15 +421,48 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 	if cfg.Recorder != nil && res.Stopped {
 		cfg.Recorder.SetStopped(true, string(res.StopReason))
 	}
+	var itersTotal, queriesTotal int
+	var conflictsTotal, propsTotal uint64
+	for _, t := range res.Trials {
+		itersTotal += t.Iterations
+		queriesTotal += t.Queries
+		conflictsTotal += t.SolverStats.Conflicts
+		propsTotal += t.SolverStats.Propagations
+	}
 	tr.Emit(trace.Event{Type: "experiment", Fields: map[string]any{
-		"benchmark":   entry.Name,
-		"key_bits":    cfg.KeyBits,
-		"policy":      cfg.Policy.String(),
-		"trials_run":  len(res.Trials),
-		"trials_want": cfg.Trials,
-		"stopped":     res.Stopped,
-		"stop_reason": string(res.StopReason),
-		"succeeded":   res.AllSucceeded(),
+		"benchmark":    entry.Name,
+		"key_bits":     cfg.KeyBits,
+		"policy":       cfg.Policy.String(),
+		"trials_run":   len(res.Trials),
+		"trials_want":  cfg.Trials,
+		"stopped":      res.Stopped,
+		"stop_reason":  string(res.StopReason),
+		"succeeded":    res.AllSucceeded(),
+		"iterations":   itersTotal,
+		"queries":      queriesTotal,
+		"conflicts":    conflictsTotal,
+		"propagations": propsTotal,
 	}})
 	return res, nil
+}
+
+// dipPublisher adapts a DIP iteration into one "dip" stream event. The
+// Enabled check keeps the no-subscriber path allocation-free: the maps and
+// bit strings below are only built when someone is listening.
+func dipPublisher(bus *stream.Bus, trial int) satattack.DIPObserver {
+	return func(iter int, dip, resp []bool, stats sat.Stats, solveTime time.Duration) {
+		if !bus.Enabled() {
+			return
+		}
+		bus.Publish(stream.TypeDIP, map[string]any{
+			"trial":        trial,
+			"iteration":    iter,
+			"dip":          flight.BitString(dip),
+			"response":     flight.BitString(resp),
+			"conflicts":    stats.Conflicts,
+			"propagations": stats.Propagations,
+			"learnt":       stats.Learnt,
+			"solve_ms":     float64(solveTime) / float64(time.Millisecond),
+		})
+	}
 }

@@ -87,6 +87,12 @@ const (
 	MetricProcessRSS  = "dynunlock_process_resident_bytes"
 	MetricGoroutines  = "dynunlock_process_goroutines"
 	MetricProcessHeap = "dynunlock_process_heap_bytes"
+
+	// Build self-description: a constant-1 gauge whose labels identify
+	// the binary (go version, flight-bundle format version, default
+	// encode/solve flag values), so scrapes and event streams carry the
+	// provenance of the process that produced them.
+	MetricBuildInfo = "dynunlock_build_info"
 )
 
 // Kind classifies a metric family.
@@ -361,6 +367,19 @@ func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string
 		return nil
 	}
 	return r.family(name, KindHistogram, append([]float64(nil), bounds...)).child(normalizePairs(labelPairs)).hist
+}
+
+// SetBuildInfo publishes the MetricBuildInfo gauge: constant 1 with the
+// given label pairs describing the binary (conventionally goversion,
+// format, and the default native_xor/aig/simplify flag values — the CLIs
+// read them off their flag definitions so the gauge tracks the build's
+// defaults, not a particular invocation). Nil-safe.
+func (r *Registry) SetBuildInfo(labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	r.Gauge(MetricBuildInfo, labelPairs...).Set(1)
+	r.SetHelp(MetricBuildInfo, "Build self-description; the labels identify the binary.")
 }
 
 // SetHelp attaches a Prometheus HELP string to a family (created lazily as

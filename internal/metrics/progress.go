@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"dynunlock/internal/stream"
 	"dynunlock/internal/trace"
 )
 
@@ -26,6 +28,8 @@ type Progress struct {
 	w        io.Writer
 	tr       *trace.Tracer
 	interval time.Duration
+	jsonMode bool
+	bus      *stream.Bus
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -55,6 +59,29 @@ func NewProgress(reg *Registry, interval time.Duration, w io.Writer, tr *trace.T
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+}
+
+// SetJSON switches the text output from the human "progress:" line to
+// one stream-schema "delta" event per line (the JSON envelope of
+// stream.Event, parseable by stream.ParseEvent), so headless logs and
+// the SSE feed share one parser. Call before Start. Nil-safe.
+func (p *Progress) SetJSON(on bool) {
+	if p == nil {
+		return
+	}
+	p.jsonMode = on
+}
+
+// AttachStream publishes each snapshot to b as a "delta" stream event in
+// addition to the text line and trace event; the periodic Progress
+// sample is the feed's only delta source (the trace adapter deliberately
+// drops "snapshot" trace events to avoid double delivery). A nil bus is
+// a no-op. Call before Start. Nil-safe.
+func (p *Progress) AttachStream(b *stream.Bus) {
+	if p == nil {
+		return
+	}
+	p.bus = b
 }
 
 // Start launches the reporting goroutine. Nil-safe; starting twice is a
@@ -144,6 +171,14 @@ func (p *Progress) emit() {
 		line += " rss=" + humanBytes(rss)
 		fields["rss_bytes"] = rss
 	}
+	// Encode accounting (fields only: the text line predates these series
+	// and stays stable for log scrapers; `runs watch` renders them).
+	if ev, ok := p.reg.Sum(MetricEncodeVars); ok {
+		fields["encode_vars"] = ev
+	}
+	if ec, ok := p.reg.Sum(MetricEncodeClauses); ok {
+		fields["encode_clauses"] = ec
+	}
 	// Seed-space progress, when an insight tracker publishes it: the
 	// certified rank over its analytic ceiling, the surviving seed-space
 	// exponent, and the DIP-rate ETA (absent until the first rank gain).
@@ -161,7 +196,20 @@ func (p *Progress) emit() {
 			fields["eta_s"] = eta
 		}
 	}
-	fmt.Fprintln(p.w, line)
+	if p.jsonMode {
+		ev := stream.Event{Type: stream.TypeDelta, Time: now, Data: fields}
+		if b, err := json.Marshal(ev); err == nil {
+			b = append(b, '\n')
+			p.w.Write(b)
+		}
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+	// The bus publish assigns a live sequence number when subscribers are
+	// attached; Publish is nil-safe and drops the event otherwise. The
+	// fields map is shared by the line, the bus, and the trace event —
+	// none of them mutate it.
+	p.bus.Publish(stream.TypeDelta, fields)
 	p.tr.Emit(trace.Event{Type: "snapshot", Fields: fields})
 }
 
@@ -220,17 +268,24 @@ func readRSSFrom(path string) (rss uint64, ok bool) {
 	return pages * uint64(os.Getpagesize()), true
 }
 
-// ProgressFlag is a flag.Value for -progress[=interval]: a bare -progress
+// ProgressFlag is a flag.Value for -progress[=mode]: a bare -progress
 // selects DefaultProgressInterval; -progress=5s selects 5 seconds;
+// -progress=json emits one stream-schema delta event per line instead of
+// the human text (optionally -progress=json,500ms for a custom cadence);
 // -progress=false disables. The zero value means "not requested".
 type ProgressFlag struct {
 	Interval time.Duration
+	// JSON selects the machine-readable delta-per-line mode (Progress.SetJSON).
+	JSON bool
 }
 
 // String implements flag.Value.
 func (f *ProgressFlag) String() string {
 	if f == nil || f.Interval <= 0 {
 		return ""
+	}
+	if f.JSON {
+		return "json," + f.Interval.String()
 	}
 	return f.Interval.String()
 }
@@ -243,11 +298,28 @@ func (f *ProgressFlag) Set(s string) error {
 		return nil
 	case "false":
 		f.Interval = 0
+		f.JSON = false
+		return nil
+	case "json":
+		f.Interval = DefaultProgressInterval
+		f.JSON = true
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(s, "json,"); ok {
+		d, err := time.ParseDuration(rest)
+		if err != nil {
+			return fmt.Errorf("-progress=json,INTERVAL wants a duration (e.g. json,500ms): %w", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("-progress interval must be positive")
+		}
+		f.Interval = d
+		f.JSON = true
 		return nil
 	}
 	d, err := time.ParseDuration(s)
 	if err != nil {
-		return fmt.Errorf("-progress wants a duration (e.g. 5s): %w", err)
+		return fmt.Errorf("-progress wants a duration (e.g. 5s) or json[,INTERVAL]: %w", err)
 	}
 	if d <= 0 {
 		return fmt.Errorf("-progress interval must be positive")

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dynunlock/internal/stream"
+)
+
+// TestProgressJSONModeEmitsStreamDeltas pins the -progress=json satellite:
+// each output line is the JSON envelope of a stream "delta" event, so
+// headless logs and the SSE feed share one parser.
+func TestProgressJSONModeEmitsStreamDeltas(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricAttackDIPs, "engine", "sequential").Add(12)
+	r.Counter(MetricSatConflicts, "engine", "sequential").Add(345)
+	r.Counter(MetricEncodeVars, "engine", "sequential").Add(1000)
+	r.Counter(MetricEncodeClauses, "engine", "sequential").Add(4000)
+
+	var buf bytes.Buffer
+	p := NewProgress(r, time.Hour, &buf, nil)
+	p.SetJSON(true)
+	p.Start()
+	p.Stop() // one final emit
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly one JSON line, got %d:\n%s", len(lines), buf.String())
+	}
+	ev, err := stream.ParseEvent([]byte(lines[0]))
+	if err != nil {
+		t.Fatalf("line does not parse as a stream event: %v\n%s", err, lines[0])
+	}
+	if ev.Type != stream.TypeDelta {
+		t.Fatalf("line type = %q, want %q", ev.Type, stream.TypeDelta)
+	}
+	if ev.Seq != 0 {
+		t.Errorf("stderr delta carries seq %d; only bus events are numbered", ev.Seq)
+	}
+	for field, want := range map[string]float64{
+		"iterations":     12,
+		"conflicts":      345,
+		"encode_vars":    1000,
+		"encode_clauses": 4000,
+	} {
+		if v, ok := ev.Data[field].(float64); !ok || v != want {
+			t.Errorf("delta %s = %v, want %v", field, ev.Data[field], want)
+		}
+	}
+	if strings.Contains(lines[0], "progress:") {
+		t.Error("JSON mode still emits the human line")
+	}
+}
+
+// TestProgressAttachStreamPublishesDeltas verifies the bus path: with a
+// subscriber attached, each emit publishes one numbered delta event.
+func TestProgressAttachStreamPublishesDeltas(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricAttackDIPs, "engine", "sequential").Add(3)
+	bus := stream.NewBus()
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+
+	p := NewProgress(r, time.Hour, io.Discard, nil)
+	p.AttachStream(bus)
+	p.Start()
+	p.Stop()
+
+	ev, ok, _ := sub.Next(nil, 0)
+	if !ok {
+		t.Fatal("no delta published to the bus")
+	}
+	if ev.Type != stream.TypeDelta || ev.Seq != 1 {
+		t.Fatalf("bus event = %+v, want delta seq 1", ev)
+	}
+	if v, _ := ev.Data["iterations"].(float64); v != 3 {
+		t.Errorf("delta iterations = %v, want 3", ev.Data["iterations"])
+	}
+}
+
+func TestProgressFlagJSONModes(t *testing.T) {
+	var f ProgressFlag
+	if err := f.Set("json"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.JSON || f.Interval != DefaultProgressInterval {
+		t.Errorf("Set(json) = %+v", f)
+	}
+	if got := f.String(); got != "json,"+DefaultProgressInterval.String() {
+		t.Errorf("String() = %q", got)
+	}
+
+	f = ProgressFlag{}
+	if err := f.Set("json,250ms"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.JSON || f.Interval != 250*time.Millisecond {
+		t.Errorf("Set(json,250ms) = %+v", f)
+	}
+
+	for _, bad := range []string{"json,", "json,nope", "json,-1s", "jsonx"} {
+		f = ProgressFlag{}
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+
+	f = ProgressFlag{}
+	if err := f.Set("json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("false"); err != nil {
+		t.Fatal(err)
+	}
+	if f.JSON || f.Interval != 0 {
+		t.Errorf("Set(false) did not clear JSON mode: %+v", f)
+	}
+}

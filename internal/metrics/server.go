@@ -9,7 +9,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 	"time"
+
+	"dynunlock/internal/stream"
 )
 
 // Server exposes a registry over HTTP on its own mux (never the default
@@ -18,23 +21,43 @@ import (
 //	/metrics       Prometheus text exposition (PrometheusHandler)
 //	/debug/vars    expvar-style JSON: {"cmdline", "memstats", "dynunlock"}
 //	/debug/pprof/  the standard net/http/pprof profile endpoints
+//	/events        live SSE event feed (ServeBus only; see sse.go)
+//	/live          in-browser live dashboard (ServeBus only; see live.go)
 //
 // Each scrape of /metrics or /debug/vars first refreshes the process
 // gauges (RSS, heap, goroutines) so they are sampled lazily instead of by
 // a background poller.
 type Server struct {
 	reg *Registry
+	bus *stream.Bus
 	ln  net.Listener
 	srv *http.Server
 	// handlerDelay, when non-zero, sleeps each request handler before it
 	// writes — a test hook for exercising Shutdown's in-flight draining.
 	handlerDelay time.Duration
+	// keepAlive is the idle interval between SSE keep-alive comments
+	// (defaultKeepAlive when zero); tests shrink it.
+	keepAlive time.Duration
+
+	// SSE subscribers live here so Shutdown can flush and close them: the
+	// http.Server drain alone would wait forever on an open event stream.
+	sseMu    sync.Mutex
+	sseSubs  map[*stream.Subscriber]struct{}
+	draining bool
 }
 
 // Serve starts an HTTP server on addr (e.g. ":9090", "127.0.0.1:0") and
 // returns once the listener is bound; requests are served on a background
-// goroutine until Close.
+// goroutine until Close. Serve is ServeBus without an event stream:
+// /events and /live respond 404.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeBus(addr, r, nil)
+}
+
+// ServeBus is Serve with a live event bus attached: /events streams the
+// bus over SSE (with Last-Event-ID resume) and /live serves the
+// self-contained dashboard. A nil bus degrades to plain Serve.
+func ServeBus(addr string, r *Registry, bus *stream.Bus) (*Server, error) {
 	if r == nil {
 		return nil, fmt.Errorf("metrics: nil registry")
 	}
@@ -42,7 +65,7 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: r, ln: ln}
+	s := &Server{reg: r, bus: bus, ln: ln, sseSubs: make(map[*stream.Subscriber]struct{})}
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -58,6 +81,8 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/events", s.serveEvents)
+	mux.HandleFunc("/live", s.serveLive)
 
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
@@ -67,20 +92,31 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately, aborting in-flight scrapes.
-// Prefer Shutdown on clean exits so a scrape racing process exit still
-// gets its response.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down immediately, aborting in-flight scrapes
+// and event streams. Prefer Shutdown on clean exits so a scrape racing
+// process exit still gets its response.
+func (s *Server) Close() error {
+	s.closeSSESubscribers()
+	return s.srv.Close()
+}
 
-// Shutdown drains the server gracefully: the listener stops accepting new
-// connections and in-flight requests get up to timeout to complete before
-// the remaining connections are closed. A non-positive timeout means
-// immediate Close. Returns nil when every request drained in time;
-// context.DeadlineExceeded when the timeout cut connections off.
+// Shutdown drains the server gracefully: active SSE subscribers are
+// flushed and closed (each stream delivers its buffered events plus one
+// final snapshot frame before ending — see serveEvents), the listener
+// stops accepting new connections, and in-flight requests get up to
+// timeout to complete before the remaining connections are closed. A
+// non-positive timeout means immediate Close. Returns nil when every
+// request drained in time; context.DeadlineExceeded when the timeout cut
+// connections off.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	if timeout <= 0 {
 		return s.Close()
 	}
+	// An open event stream never finishes on its own, so the plain
+	// http.Server drain would always hit the timeout with a subscriber
+	// attached; closing the subscribers first lets their handlers finish
+	// cleanly inside the drain window.
+	s.closeSSESubscribers()
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	err := s.srv.Shutdown(ctx)
@@ -90,6 +126,39 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 		s.srv.Close()
 	}
 	return err
+}
+
+// closeSSESubscribers detaches every live SSE subscriber and marks the
+// server draining so new /events connections are refused.
+func (s *Server) closeSSESubscribers() {
+	s.sseMu.Lock()
+	s.draining = true
+	subs := make([]*stream.Subscriber, 0, len(s.sseSubs))
+	for sub := range s.sseSubs {
+		subs = append(subs, sub)
+	}
+	s.sseMu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}
+
+// trackSSE registers a live subscriber for drain; it reports false (and
+// the caller refuses the connection) once draining has begun.
+func (s *Server) trackSSE(sub *stream.Subscriber) bool {
+	s.sseMu.Lock()
+	defer s.sseMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.sseSubs[sub] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackSSE(sub *stream.Subscriber) {
+	s.sseMu.Lock()
+	delete(s.sseSubs, sub)
+	s.sseMu.Unlock()
 }
 
 // refreshProcessGauges samples process-level runtime state into the

@@ -10,6 +10,7 @@ import (
 
 	"dynunlock/internal/flight"
 	"dynunlock/internal/insight"
+	"dynunlock/internal/svgchart"
 )
 
 // HTMLOptions configures WriteHTML.
@@ -56,18 +57,13 @@ th,td{border:1px solid #ccc;padding:.25em .6em;text-align:right}
 th{background:#f2f2f2}td:first-child,th:first-child{text-align:left}
 figure.chart{margin:.8em 0;display:inline-block}
 figcaption{font-size:.85em;font-weight:600;margin-bottom:.2em}
-svg .grid{stroke:#e4e4e4;stroke-width:1}
-svg .axis{stroke:#444;stroke-width:1}
-svg .tick{font-size:10px;fill:#444}
-svg .label{font-size:11px;fill:#222}
-svg .line{fill:none;stroke-width:1.6}
-svg .empty{font-size:12px;fill:#888;text-anchor:middle}
+%s
 .note{color:#777;font-size:.85em}
 nav a{margin-right:1em}
 </style>
 </head>
 <body>
-`, html.EscapeString(title))
+`, html.EscapeString(title), svgchart.CSS)
 	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
 
 	// Navigation and cross-bundle overview.

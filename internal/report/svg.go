@@ -1,168 +1,19 @@
 package report
 
-import (
-	"fmt"
-	"html"
-	"strings"
-)
+import "dynunlock/internal/svgchart"
 
-// Inline-SVG chart rendering for the HTML run report. The output is fully
-// self-contained (no scripts, no external references) and deterministic:
-// coordinates are formatted with fixed precision and series render in the
-// order given, so identical inputs produce byte-identical markup.
-
-// chartPalette cycles per-series stroke colors (a colorblind-tolerant
-// ten-hue palette).
-var chartPalette = []string{
-	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
-	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
-}
+// Chart rendering lives in internal/svgchart (extracted so the /live
+// dashboard in internal/metrics shares the report's visual language
+// without an import cycle). These aliases keep the report-internal call
+// sites unchanged; the rendered markup is byte-identical to the
+// pre-extraction output, which html_test.go's determinism check pins.
 
 // series is one polyline (or bar group) on a chart, in data coordinates.
-type series struct {
-	Name   string
-	X, Y   []float64
-	Dashed bool
-}
+type series = svgchart.Series
 
-// chart geometry (pixels). One fixed size keeps every chart in the report
-// aligned and the markup reproducible.
-const (
-	chartW  = 660
-	chartH  = 230
-	chartML = 52 // left margin: y tick labels
-	chartMR = 12
-	chartMT = 26 // top margin: legend row
-	chartMB = 34 // bottom margin: x tick labels + axis label
-)
-
-// maxLegendEntries bounds the legend row; charts with more series state the
-// overflow explicitly instead of dropping it silently.
-const maxLegendEntries = 8
-
-// svgNum formats a pixel coordinate with fixed precision (determinism).
-func svgNum(v float64) string {
-	s := fmt.Sprintf("%.2f", v)
-	s = strings.TrimRight(s, "0")
-	return strings.TrimRight(s, ".")
-}
-
-// niceTicks returns up to n+1 evenly spaced tick values covering [lo, hi].
-func niceTicks(lo, hi float64, n int) []float64 {
-	if hi <= lo {
-		hi = lo + 1
-	}
-	step := (hi - lo) / float64(n)
-	out := make([]float64, 0, n+1)
-	for i := 0; i <= n; i++ {
-		out = append(out, lo+step*float64(i))
-	}
-	return out
-}
-
-// lineChart renders the series as one inline SVG element. yLabel names the
-// vertical axis; xLabel the horizontal. An empty chart (no points at all)
-// renders a placeholder message instead of axes.
+// lineChart renders the series as one inline SVG element.
 func lineChart(caption, xLabel, yLabel string, ss []series) string {
-	var pts int
-	xmin, xmax := 0.0, 1.0
-	ymin, ymax := 0.0, 1.0
-	first := true
-	for _, s := range ss {
-		for i := range s.X {
-			if first {
-				xmin, xmax = s.X[i], s.X[i]
-				ymin, ymax = s.Y[i], s.Y[i]
-				first = false
-			}
-			xmin, xmax = min2(xmin, s.X[i]), max2(xmax, s.X[i])
-			ymin, ymax = min2(ymin, s.Y[i]), max2(ymax, s.Y[i])
-			pts++
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, `<figure class="chart"><figcaption>%s</figcaption>`, html.EscapeString(caption))
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
-		chartW, chartH, chartW, chartH)
-	if pts == 0 {
-		fmt.Fprintf(&b, `<text x="%d" y="%d" class="empty">no data</text>`, chartW/2, chartH/2)
-		b.WriteString(`</svg></figure>`)
-		return b.String()
-	}
-	// Counts and bit measures read best anchored at zero.
-	if ymin > 0 {
-		ymin = 0
-	}
-	if ymax == ymin {
-		ymax = ymin + 1
-	}
-	if xmax == xmin {
-		xmax = xmin + 1
-	}
-	plotW := float64(chartW - chartML - chartMR)
-	plotH := float64(chartH - chartMT - chartMB)
-	px := func(x float64) float64 { return float64(chartML) + (x-xmin)/(xmax-xmin)*plotW }
-	py := func(y float64) float64 { return float64(chartMT) + (1-(y-ymin)/(ymax-ymin))*plotH }
-
-	// Gridlines and tick labels.
-	for _, ty := range niceTicks(ymin, ymax, 4) {
-		y := py(ty)
-		fmt.Fprintf(&b, `<line class="grid" x1="%d" y1="%s" x2="%d" y2="%s"/>`,
-			chartML, svgNum(y), chartW-chartMR, svgNum(y))
-		fmt.Fprintf(&b, `<text class="tick" x="%d" y="%s" text-anchor="end">%s</text>`,
-			chartML-5, svgNum(y+3.5), html.EscapeString(trimFloat(ty)))
-	}
-	for _, tx := range niceTicks(xmin, xmax, 6) {
-		x := px(tx)
-		fmt.Fprintf(&b, `<text class="tick" x="%s" y="%d" text-anchor="middle">%s</text>`,
-			svgNum(x), chartH-chartMB+14, html.EscapeString(trimFloat(tx)))
-	}
-	// Axes.
-	fmt.Fprintf(&b, `<line class="axis" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
-		chartML, chartMT, chartML, chartH-chartMB)
-	fmt.Fprintf(&b, `<line class="axis" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
-		chartML, chartH-chartMB, chartW-chartMR, chartH-chartMB)
-	fmt.Fprintf(&b, `<text class="label" x="%d" y="%d" text-anchor="middle">%s</text>`,
-		chartML+int(plotW/2), chartH-4, html.EscapeString(xLabel))
-	fmt.Fprintf(&b, `<text class="label" x="12" y="%d" text-anchor="middle" transform="rotate(-90 12 %d)">%s</text>`,
-		chartMT+int(plotH/2), chartMT+int(plotH/2), html.EscapeString(yLabel))
-
-	// Series polylines (single points render as a circle marker).
-	for si, s := range ss {
-		color := chartPalette[si%len(chartPalette)]
-		dash := ""
-		if s.Dashed {
-			dash = ` stroke-dasharray="5 3"`
-		}
-		if len(s.X) == 1 {
-			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`,
-				svgNum(px(s.X[0])), svgNum(py(s.Y[0])), color)
-			continue
-		}
-		coords := make([]string, len(s.X))
-		for i := range s.X {
-			coords[i] = svgNum(px(s.X[i])) + "," + svgNum(py(s.Y[i]))
-		}
-		fmt.Fprintf(&b, `<polyline class="line" points="%s" stroke="%s"%s/>`,
-			strings.Join(coords, " "), color, dash)
-	}
-	// Legend row along the top margin.
-	lx := chartML
-	for si, s := range ss {
-		if si == maxLegendEntries {
-			fmt.Fprintf(&b, `<text class="tick" x="%d" y="%d">+%d more</text>`,
-				lx, chartMT-10, len(ss)-maxLegendEntries)
-			break
-		}
-		color := chartPalette[si%len(chartPalette)]
-		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
-			lx, chartMT-14, lx+14, chartMT-14, color)
-		fmt.Fprintf(&b, `<text class="tick" x="%d" y="%d">%s</text>`,
-			lx+18, chartMT-10, html.EscapeString(s.Name))
-		lx += 22 + 7*len(s.Name)
-	}
-	b.WriteString(`</svg></figure>`)
-	return b.String()
+	return svgchart.LineChart(caption, xLabel, yLabel, ss)
 }
 
 func min2(a, b float64) float64 {

@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteEventFraming(t *testing.T) {
+	var b strings.Builder
+	ev := Event{Seq: 7, Type: TypeDIP, Time: time.Unix(0, 0).UTC(), Data: map[string]any{"iteration": 3}}
+	if err := WriteEvent(&b, ev); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	lines := strings.Split(got, "\n")
+	if lines[0] != "id: 7" {
+		t.Fatalf("id line = %q", lines[0])
+	}
+	if lines[1] != "event: dip" {
+		t.Fatalf("event line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "data: {") {
+		t.Fatalf("data line = %q", lines[2])
+	}
+	if !strings.HasSuffix(got, "\n\n") {
+		t.Fatalf("frame not terminated by a blank line: %q", got)
+	}
+}
+
+func TestWriteEventOmitsIDForSynthesizedEvents(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEvent(&b, Event{Type: TypeHello, Time: time.Unix(0, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "id:") {
+		t.Fatalf("hello frame carries an id line: %q", b.String())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var b strings.Builder
+	events := []Event{
+		{Type: TypeHello, Time: time.Now().UTC(), Data: map[string]any{"proto": float64(Proto)}},
+		{Seq: 1, Type: TypeSnapshot, Time: time.Now().UTC(), Data: map[string]any{"dynunlock_sat_conflicts_total": 12.0}},
+		{Seq: 2, Type: TypeDelta, Time: time.Now().UTC(), Data: map[string]any{"iterations": 3.0}},
+		{Seq: 3, Type: TypeResult, Time: time.Now().UTC(), Data: map[string]any{"scope": "experiment"}},
+	}
+	for i, ev := range events {
+		if err := WriteEvent(&b, ev); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if i == 1 {
+			if err := WriteComment(&b, "keep-alive"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d := NewDecoder(strings.NewReader(b.String()))
+	for i, want := range events {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Type != want.Type {
+			t.Fatalf("decode %d: got seq=%d type=%q, want seq=%d type=%q", i, got.Seq, got.Type, want.Seq, want.Type)
+		}
+		for k, v := range want.Data {
+			if got.Data[k] != v {
+				t.Fatalf("decode %d: data[%q] = %v, want %v", i, k, got.Data[k], v)
+			}
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("trailing Next err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderToleratesCommentsAndRetry(t *testing.T) {
+	in := ": welcome\n\nretry: 1000\nevent: delta\ndata: {\"seq\":1,\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}\nid: 1\n\n"
+	d := NewDecoder(strings.NewReader(in))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != TypeDelta || ev.Seq != 1 {
+		t.Fatalf("got %+v", ev)
+	}
+}
+
+func TestDecoderJoinsMultilineData(t *testing.T) {
+	in := "event: insight\ndata: {\"seq\":2,\"type\":\"insight\",\ndata: \"t\":\"2026-01-01T00:00:00Z\"}\n\n"
+	d := NewDecoder(strings.NewReader(in))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != TypeInsight || ev.Seq != 2 {
+		t.Fatalf("got %+v", ev)
+	}
+}
+
+func TestDecoderCorruptCases(t *testing.T) {
+	cases := map[string]string{
+		"id mismatch":     "id: 9\nevent: delta\ndata: {\"seq\":1,\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+		"type mismatch":   "event: dip\ndata: {\"seq\":1,\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+		"unknown type":    "event: bogus\ndata: {\"seq\":1,\"type\":\"bogus\",\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+		"missing type":    "data: {\"seq\":1,\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+		"bad json":        "event: delta\ndata: {nope\n\n",
+		"no separator":    "garbage line\n\n",
+		"unknown field":   "bogusfield: x\ndata: {\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+		"truncated frame": "event: delta\ndata: {\"seq\":1,\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}",
+		"non-numeric id":  "id: xyz\nevent: delta\ndata: {\"seq\":1,\"type\":\"delta\",\"t\":\"2026-01-01T00:00:00Z\"}\n\n",
+	}
+	for name, in := range cases {
+		d := NewDecoder(strings.NewReader(in))
+		if _, err := d.Next(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecoderSkipsDatalessFrames(t *testing.T) {
+	in := "id: 5\nevent: delta\n\nevent: result\ndata: {\"seq\":6,\"type\":\"result\",\"t\":\"2026-01-01T00:00:00Z\"}\nid: 6\n\n"
+	d := NewDecoder(strings.NewReader(in))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != TypeResult {
+		t.Fatalf("got %q, want the result frame (dataless frame dispatches nothing)", ev.Type)
+	}
+}
+
+func TestParseEventRejectsEmptyAndUnknown(t *testing.T) {
+	if _, err := ParseEvent([]byte(`{"type":"delta","t":"2026-01-01T00:00:00Z"}`)); err != nil {
+		t.Fatalf("valid delta rejected: %v", err)
+	}
+	if _, err := ParseEvent([]byte(`{"t":"2026-01-01T00:00:00Z"}`)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing type: err = %v", err)
+	}
+	if _, err := ParseEvent([]byte(`{"type":"nope","t":"2026-01-01T00:00:00Z"}`)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown type: err = %v", err)
+	}
+	if _, err := ParseEvent([]byte("not json")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad json: err = %v", err)
+	}
+}

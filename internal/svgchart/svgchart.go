@@ -1,0 +1,204 @@
+// Package svgchart renders deterministic inline-SVG line charts. It is
+// the chart core shared by internal/report (static HTML run reports) and
+// the live dashboard served at /live by internal/metrics — extracted as
+// a leaf package (stdlib only) so both can use one visual language
+// without an import cycle (report depends on flight, which depends on
+// metrics).
+//
+// Output is fully self-contained (no scripts, no external references)
+// and deterministic: coordinates are formatted with fixed precision and
+// series render in the order given, so identical inputs produce
+// byte-identical markup — internal/report's byte-identical-render test
+// rides on this property.
+package svgchart
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// Palette cycles per-series stroke colors (a colorblind-tolerant ten-hue
+// palette).
+var Palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// Series is one polyline on a chart, in data coordinates.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Dashed bool
+}
+
+// Chart geometry (pixels). One fixed size keeps every chart in a report
+// aligned and the markup reproducible.
+const (
+	Width        = 660
+	Height       = 230
+	MarginLeft   = 52 // y tick labels
+	MarginRight  = 12
+	MarginTop    = 26 // legend row
+	MarginBottom = 34 // x tick labels + axis label
+)
+
+// MaxLegendEntries bounds the legend row; charts with more series state
+// the overflow explicitly instead of dropping it silently.
+const MaxLegendEntries = 8
+
+// CSS is the style block the charts expect from their embedding page.
+// Both internal/report's static HTML and the /live dashboard splice it
+// verbatim, so the two renderings stay visually identical.
+const CSS = `svg .grid{stroke:#e4e4e4;stroke-width:1}
+svg .axis{stroke:#444;stroke-width:1}
+svg .tick{font-size:10px;fill:#444}
+svg .label{font-size:11px;fill:#222}
+svg .line{fill:none;stroke-width:1.6}
+svg .empty{font-size:12px;fill:#888;text-anchor:middle}`
+
+// num formats a pixel coordinate with fixed precision (determinism).
+func num(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// tickLabel formats a tick value ("%.2f" right-trimmed, matching the
+// report package's number style).
+func tickLabel(v float64) string {
+	return num(v)
+}
+
+// Ticks returns up to n+1 evenly spaced tick values covering [lo, hi].
+func Ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	step := (hi - lo) / float64(n)
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, lo+step*float64(i))
+	}
+	return out
+}
+
+// LineChart renders the series as one inline SVG element wrapped in a
+// <figure class="chart">. yLabel names the vertical axis; xLabel the
+// horizontal. An empty chart (no points at all) renders a placeholder
+// message instead of axes.
+func LineChart(caption, xLabel, yLabel string, ss []Series) string {
+	var pts int
+	xmin, xmax := 0.0, 1.0
+	ymin, ymax := 0.0, 1.0
+	first := true
+	for _, s := range ss {
+		for i := range s.X {
+			if first {
+				xmin, xmax = s.X[i], s.X[i]
+				ymin, ymax = s.Y[i], s.Y[i]
+				first = false
+			}
+			xmin, xmax = minf(xmin, s.X[i]), maxf(xmax, s.X[i])
+			ymin, ymax = minf(ymin, s.Y[i]), maxf(ymax, s.Y[i])
+			pts++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<figure class="chart"><figcaption>%s</figcaption>`, html.EscapeString(caption))
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		Width, Height, Width, Height)
+	if pts == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" class="empty">no data</text>`, Width/2, Height/2)
+		b.WriteString(`</svg></figure>`)
+		return b.String()
+	}
+	// Counts and bit measures read best anchored at zero.
+	if ymin > 0 {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	plotW := float64(Width - MarginLeft - MarginRight)
+	plotH := float64(Height - MarginTop - MarginBottom)
+	px := func(x float64) float64 { return float64(MarginLeft) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(MarginTop) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	// Gridlines and tick labels.
+	for _, ty := range Ticks(ymin, ymax, 4) {
+		y := py(ty)
+		fmt.Fprintf(&b, `<line class="grid" x1="%d" y1="%s" x2="%d" y2="%s"/>`,
+			MarginLeft, num(y), Width-MarginRight, num(y))
+		fmt.Fprintf(&b, `<text class="tick" x="%d" y="%s" text-anchor="end">%s</text>`,
+			MarginLeft-5, num(y+3.5), html.EscapeString(tickLabel(ty)))
+	}
+	for _, tx := range Ticks(xmin, xmax, 6) {
+		x := px(tx)
+		fmt.Fprintf(&b, `<text class="tick" x="%s" y="%d" text-anchor="middle">%s</text>`,
+			num(x), Height-MarginBottom+14, html.EscapeString(tickLabel(tx)))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line class="axis" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
+		MarginLeft, MarginTop, MarginLeft, Height-MarginBottom)
+	fmt.Fprintf(&b, `<line class="axis" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
+		MarginLeft, Height-MarginBottom, Width-MarginRight, Height-MarginBottom)
+	fmt.Fprintf(&b, `<text class="label" x="%d" y="%d" text-anchor="middle">%s</text>`,
+		MarginLeft+int(plotW/2), Height-4, html.EscapeString(xLabel))
+	fmt.Fprintf(&b, `<text class="label" x="12" y="%d" text-anchor="middle" transform="rotate(-90 12 %d)">%s</text>`,
+		MarginTop+int(plotH/2), MarginTop+int(plotH/2), html.EscapeString(yLabel))
+
+	// Series polylines (single points render as a circle marker).
+	for si, s := range ss {
+		color := Palette[si%len(Palette)]
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="5 3"`
+		}
+		if len(s.X) == 1 {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`,
+				num(px(s.X[0])), num(py(s.Y[0])), color)
+			continue
+		}
+		coords := make([]string, len(s.X))
+		for i := range s.X {
+			coords[i] = num(px(s.X[i])) + "," + num(py(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline class="line" points="%s" stroke="%s"%s/>`,
+			strings.Join(coords, " "), color, dash)
+	}
+	// Legend row along the top margin.
+	lx := MarginLeft
+	for si, s := range ss {
+		if si == MaxLegendEntries {
+			fmt.Fprintf(&b, `<text class="tick" x="%d" y="%d">+%d more</text>`,
+				lx, MarginTop-10, len(ss)-MaxLegendEntries)
+			break
+		}
+		color := Palette[si%len(Palette)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			lx, MarginTop-14, lx+14, MarginTop-14, color)
+		fmt.Fprintf(&b, `<text class="tick" x="%d" y="%d">%s</text>`,
+			lx+18, MarginTop-10, html.EscapeString(s.Name))
+		lx += 22 + 7*len(s.Name)
+	}
+	b.WriteString(`</svg></figure>`)
+	return b.String()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

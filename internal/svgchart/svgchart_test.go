@@ -1,0 +1,53 @@
+package svgchart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartDeterministic(t *testing.T) {
+	ss := []Series{
+		{Name: "rank", X: []float64{0, 1, 2, 3}, Y: []float64{0, 2, 5, 8}},
+		{Name: "bound", X: []float64{0, 3}, Y: []float64{8, 8}, Dashed: true},
+	}
+	a := LineChart("convergence", "DIP", "rank", ss)
+	b := LineChart("convergence", "DIP", "rank", ss)
+	if a != b {
+		t.Fatal("identical inputs rendered differently")
+	}
+	for _, want := range []string{"<figure class=\"chart\">", "convergence", "polyline", "stroke-dasharray"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("chart missing %q", want)
+		}
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("c", "x", "y", nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart missing placeholder: %s", out)
+	}
+}
+
+func TestLineChartLegendOverflow(t *testing.T) {
+	var ss []Series
+	for i := 0; i < MaxLegendEntries+3; i++ {
+		ss = append(ss, Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	}
+	out := LineChart("c", "x", "y", ss)
+	if !strings.Contains(out, "+3 more") {
+		t.Fatal("legend overflow not stated")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	ts := Ticks(0, 10, 4)
+	if len(ts) != 5 || ts[0] != 0 || ts[4] != 10 {
+		t.Fatalf("Ticks(0,10,4) = %v", ts)
+	}
+	// Degenerate range still yields usable ticks.
+	ts = Ticks(5, 5, 4)
+	if len(ts) != 5 || ts[0] != 5 {
+		t.Fatalf("Ticks(5,5,4) = %v", ts)
+	}
+}

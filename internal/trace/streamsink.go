@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"time"
+
+	"dynunlock/internal/stream"
+)
+
+// NewStreamSink bridges the trace event feed onto a live stream bus,
+// mapping trace event types to the stream taxonomy:
+//
+//	span_end   → stream "span"   {span, dur_ms, counters?}
+//	insight    → stream "insight" (fields verbatim)
+//	result     → stream "result" with data.scope = "trial"
+//	experiment → stream "result" with data.scope = "experiment"
+//	            (the terminal event a `runs watch` session exits 0 on)
+//
+// span_start and progress events are dropped (span_end carries the
+// duration; progress text has no structured payload), and "snapshot"
+// events are dropped too: metrics.Progress publishes its periodic sample
+// directly to the bus as a "delta" event (Progress.AttachStream), so
+// forwarding the trace copy would double-deliver it.
+//
+// Returns nil for a nil bus, which trace.Multi drops — CLIs append it
+// unconditionally. The sink checks bus.Enabled() before building any
+// payload, preserving the no-subscriber zero-allocation path.
+func NewStreamSink(b *stream.Bus) Sink {
+	if b == nil {
+		return nil
+	}
+	return &streamSink{bus: b}
+}
+
+type streamSink struct {
+	bus *stream.Bus
+}
+
+// Emit implements Sink.
+func (s *streamSink) Emit(ev Event) {
+	if !s.bus.Enabled() {
+		return
+	}
+	switch ev.Type {
+	case "span_end":
+		data := map[string]any{
+			"span":   ev.Span,
+			"dur_ms": float64(ev.Duration) / float64(time.Millisecond),
+		}
+		if len(ev.Counters) > 0 {
+			counters := make(map[string]any, len(ev.Counters))
+			for k, v := range ev.Counters {
+				counters[k] = v
+			}
+			data["counters"] = counters
+		}
+		s.bus.Publish(stream.TypeSpan, data)
+	case "insight":
+		s.bus.Publish(stream.TypeInsight, ev.Fields)
+	case "result":
+		s.bus.Publish(stream.TypeResult, withScope(ev.Fields, "trial"))
+	case "experiment":
+		s.bus.Publish(stream.TypeResult, withScope(ev.Fields, "experiment"))
+	}
+}
+
+// withScope copies fields and adds the scope marker; the source map is
+// shared with the other sinks in a Multi fan-out, so it must not be
+// mutated here.
+func withScope(fields map[string]any, scope string) map[string]any {
+	data := make(map[string]any, len(fields)+1)
+	for k, v := range fields {
+		data[k] = v
+	}
+	data["scope"] = scope
+	return data
+}

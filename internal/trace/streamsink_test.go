@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dynunlock/internal/stream"
+)
+
+func drain(t *testing.T, sub *stream.Subscriber, n int) []stream.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out := make([]stream.Event, 0, n)
+	for len(out) < n {
+		ev, ok, timedOut := sub.Next(ctx, 0)
+		if !ok || timedOut {
+			t.Fatalf("stream ended after %d of %d events", len(out), n)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestStreamSinkMapsEventTypes(t *testing.T) {
+	bus := stream.NewBus()
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+	sink := NewStreamSink(bus)
+
+	sink.Emit(Event{Type: "span_start", Span: "encode", Time: time.Now()})
+	sink.Emit(Event{Type: "progress", Msg: "hi", Time: time.Now()})
+	sink.Emit(Event{Type: "snapshot", Fields: map[string]any{"iterations": 1.0}, Time: time.Now()})
+	sink.Emit(Event{
+		Type: "span_end", Span: "encode", Time: time.Now(),
+		Duration: 1500 * time.Microsecond,
+		Counters: map[string]uint64{"encode_vars": 42},
+	})
+	sink.Emit(Event{Type: "insight", Fields: map[string]any{"rank": 3.0}, Time: time.Now()})
+	trialFields := map[string]any{"iterations": 7}
+	sink.Emit(Event{Type: "result", Fields: trialFields, Time: time.Now()})
+	sink.Emit(Event{Type: "experiment", Fields: map[string]any{"succeeded": true}, Time: time.Now()})
+
+	evs := drain(t, sub, 4)
+	if evs[0].Type != stream.TypeSpan {
+		t.Fatalf("event 0 = %q, want span (span_start/progress/snapshot dropped)", evs[0].Type)
+	}
+	if evs[0].Data["span"] != "encode" || evs[0].Data["dur_ms"] != 1.5 {
+		t.Fatalf("span data = %v", evs[0].Data)
+	}
+	counters, ok := evs[0].Data["counters"].(map[string]any)
+	if !ok || counters["encode_vars"] != uint64(42) {
+		t.Fatalf("span counters = %v", evs[0].Data["counters"])
+	}
+	if evs[1].Type != stream.TypeInsight || evs[1].Data["rank"] != 3.0 {
+		t.Fatalf("event 1 = %+v, want insight rank=3", evs[1])
+	}
+	if evs[2].Type != stream.TypeResult || evs[2].Data["scope"] != "trial" {
+		t.Fatalf("event 2 = %+v, want trial-scoped result", evs[2])
+	}
+	if evs[3].Type != stream.TypeResult || evs[3].Data["scope"] != "experiment" {
+		t.Fatalf("event 3 = %+v, want experiment-scoped result", evs[3])
+	}
+	// The shared fields map must not have been mutated by scope injection.
+	if _, leaked := trialFields["scope"]; leaked {
+		t.Fatal("withScope mutated the source fields map")
+	}
+}
+
+func TestStreamSinkNilBusAndNoSubscribers(t *testing.T) {
+	if NewStreamSink(nil) != nil {
+		t.Fatal("nil bus should yield a nil sink (dropped by Multi)")
+	}
+	bus := stream.NewBus()
+	sink := NewStreamSink(bus)
+	sink.Emit(Event{Type: "experiment", Fields: map[string]any{"x": 1}})
+	if bus.LastSeq() != 0 {
+		t.Fatal("sink published with no subscribers attached")
+	}
+}

@@ -1,0 +1,116 @@
+package dynunlock
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynunlock/internal/stream"
+)
+
+// TestStreamDoesNotPerturbAttack pins the tentpole's zero-cost guarantee:
+// attaching an event bus with no subscribers must leave the attack
+// bit-identical — same trials, same solver counters, same candidate
+// counts — and must never assign a sequence number (events nobody
+// listened for are never numbered).
+func TestStreamDoesNotPerturbAttack(t *testing.T) {
+	run := func(bus *stream.Bus) []TrialResult {
+		t.Helper()
+		var log strings.Builder
+		cfg := ExperimentConfig{
+			Benchmark: "s5378",
+			KeyBits:   8,
+			Policy:    PerCycle,
+			Scale:     16,
+			Trials:    3,
+			SeedBase:  11,
+			Log:       &log,
+			Stream:    bus,
+		}
+		res, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trials
+	}
+
+	baseline := run(nil)
+	bus := stream.NewBus()
+	streamed := run(bus)
+
+	// Drop wall-clock fields; everything else must match exactly.
+	scrub := func(ts []TrialResult) []TrialResult {
+		out := make([]TrialResult, len(ts))
+		copy(out, ts)
+		for i := range out {
+			out[i].Seconds = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(scrub(baseline), scrub(streamed)) {
+		t.Errorf("idle bus perturbed the attack:\nbaseline: %+v\nstreamed: %+v",
+			scrub(baseline), scrub(streamed))
+	}
+	if bus.LastSeq() != 0 {
+		t.Errorf("bus assigned %d sequence numbers with no subscriber attached", bus.LastSeq())
+	}
+}
+
+// TestStreamPublishesDIPEvents covers the live side of the same hook: with
+// a subscriber attached, each DIP iteration publishes one "dip" event
+// whose iteration numbers count up per trial.
+func TestStreamPublishesDIPEvents(t *testing.T) {
+	bus := stream.NewBusSized(4096, 4096)
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+
+	cfg := ExperimentConfig{
+		Benchmark: "s5378",
+		KeyBits:   8,
+		Policy:    PerCycle,
+		Scale:     16,
+		Trials:    2,
+		SeedBase:  11,
+		Stream:    bus,
+	}
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close drains the subscriber: buffered events still pop, then Next
+	// reports ok=false instead of blocking on an idle bus.
+	bus.Close()
+	wantIters := 0
+	for _, tr := range res.Trials {
+		wantIters += tr.Iterations
+	}
+
+	got := 0
+	perTrial := map[int]int{}
+	for {
+		ev, ok, _ := sub.Next(nil, 0)
+		if !ok {
+			break
+		}
+		if ev.Type != stream.TypeDIP {
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+		trial := ev.Data["trial"].(int)
+		iter := ev.Data["iteration"].(int)
+		perTrial[trial]++
+		if iter != perTrial[trial] {
+			t.Fatalf("trial %d: dip iteration %d arrived out of order (want %d)",
+				trial, iter, perTrial[trial])
+		}
+		if s, ok := ev.Data["dip"].(string); !ok || s == "" {
+			t.Fatalf("dip event missing dip bits: %+v", ev.Data)
+		}
+		got++
+	}
+	if got != wantIters {
+		t.Errorf("published %d dip events, trials report %d iterations", got, wantIters)
+	}
+	if sub.Dropped() != 0 {
+		t.Errorf("ring dropped %d events; size the test ring above the workload", sub.Dropped())
+	}
+}
