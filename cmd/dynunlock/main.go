@@ -217,7 +217,7 @@ func main() {
 		if err := rec.Close(); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "dynunlock: recorded bundle to %s\n", rec.Dir())
+		fmt.Fprintf(os.Stderr, "dynunlock: recorded bundle to %s (attribution: runs explain %s)\n", rec.Dir(), rec.Dir())
 	}
 	tb := report.New(
 		fmt.Sprintf("DynUnlock on %s (%d scan flops, %d-bit key, %v, %d trial(s), %s mode)",

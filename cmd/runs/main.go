@@ -6,12 +6,27 @@
 //	runs show <bundle>                  print a bundle summary and stage table
 //	runs validate <bundle>              check the bundle files and manifest schema
 //	runs replay <bundle>                re-run the attack from the transcript
+//	runs explain [-json] [-top N] <bundle>
+//	                                    per-stage and per-DIP attribution report
 //	runs diff <bundleA> <bundleB>       cross-run comparison of two bundles
+//	runs compare <bundleA> <bundleB>    attribute a perf change: which stage and
+//	                                    solver series regressed between two runs
 //	runs bench [-out FILE] <bundle>...  append normalized rows to BENCH_attack.json
 //	runs baseline [-bench FILE] <bundle>  compare a bundle to its ledger baseline row
 //	runs report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
 //	                                    render bundles into a self-contained HTML report
+//	runs trends [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
+//	                                    render a cross-run trend report (SVG charts)
 //	runs watch <addr>                   follow a live run's /events feed in the terminal
+//
+// explain is the attribution tool (see internal/anatomy): wall time split
+// across the Fig. 3 stages (rows sum exactly to the recorded wall time),
+// solver counter totals (exactly the sum of result.json's per-trial
+// snapshots), the hardest DIP iterations by difficulty score, and — on
+// format-v4 bundles — the live-captured LBD distribution and restart
+// telemetry. compare runs the same attribution over two bundles and names
+// the stage and solver series that regressed, instead of only reporting
+// that something differs.
 //
 // Exit codes are uniform across subcommands so scripts and CI can tell the
 // failure classes apart:
@@ -75,8 +90,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdValidate(rest, stdout, stderr)
 	case "replay":
 		return cmdReplay(rest, stdout, stderr)
+	case "explain":
+		return cmdExplain(rest, stdout, stderr)
 	case "diff":
 		return cmdDiff(rest, stdout, stderr)
+	case "compare":
+		return cmdCompare(rest, stdout, stderr)
+	case "trends":
+		return cmdTrends(rest, stdout, stderr)
 	case "bench":
 		return cmdBench(rest, stdout, stderr)
 	case "baseline":
@@ -95,11 +116,16 @@ func usage(stderr io.Writer) int {
   show <bundle>                   print a bundle summary
   validate <bundle>               validate bundle files and manifest schema
   replay <bundle>                 replay the attack offline
+  explain [-json] [-top N] <bundle>
+                                  per-stage and per-DIP attribution report
   diff <bundleA> <bundleB>        compare two bundles
+  compare <bundleA> <bundleB>     attribute a perf change between two bundles
   bench [-out FILE] <bundle>...   append normalized rows to a benchmark ledger
   baseline [-bench FILE] <bundle> compare a bundle to its ledger baseline
   report [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
                                   render bundles into one self-contained HTML report
+  trends [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
+                                  render a cross-run trend report (SVG charts)
   watch <addr>                    follow a live run's /events feed in the terminal
 
 exit codes: 0 ok/match · 1 mismatch (replay divergence, diff or baseline
@@ -398,14 +424,28 @@ func cmdBaseline(args []string, stdout, stderr io.Writer) int {
 	tb.AddRow("broken", base.Broken, row.Broken, "")
 	tb.Render(stdout)
 	// The deterministic columns must match the baseline exactly; timing and
-	// solver-effort columns are report-only (they vary across hosts).
-	exact := base.Trials == row.Trials &&
-		base.AvgIterations == row.AvgIterations &&
-		base.AvgQueries == row.AvgQueries &&
-		base.AvgCandidates == row.AvgCandidates &&
-		base.Broken == row.Broken
-	if !exact {
-		fmt.Fprintln(stdout, "\nbaseline mismatch on deterministic columns")
+	// solver-effort columns are report-only (they vary across hosts). On a
+	// mismatch, every regressed series is named with its movement so the
+	// failure is directly attributable (`runs compare` digs further into
+	// which attack stage moved).
+	var regressed []string
+	mism := func(name string, vb, vc float64) {
+		if vb != vc {
+			regressed = append(regressed, fmt.Sprintf("%s: baseline %g, current %g (%+g)", name, vb, vc, vc-vb))
+		}
+	}
+	mism("trials", float64(base.Trials), float64(row.Trials))
+	mism("avg iterations", base.AvgIterations, row.AvgIterations)
+	mism("avg queries", base.AvgQueries, row.AvgQueries)
+	mism("avg candidates", base.AvgCandidates, row.AvgCandidates)
+	if base.Broken != row.Broken {
+		regressed = append(regressed, fmt.Sprintf("broken: baseline %v, current %v", base.Broken, row.Broken))
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(stdout, "\nbaseline mismatch: %d deterministic series moved\n", len(regressed))
+		for _, s := range regressed {
+			fmt.Fprintf(stdout, "  %s\n", s)
+		}
 		return exitMismatch
 	}
 	fmt.Fprintln(stdout, "\nbaseline match on deterministic columns")

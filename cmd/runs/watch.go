@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -17,56 +19,146 @@ import (
 // It is the headless sibling of the /live dashboard: the delta lines are a
 // superset of the -progress line (they add encode vars/clauses), and the
 // stream's terminal "result" event with scope "experiment" ends the watch
-// with exit 0. A connection failure, non-SSE response, corrupt frame, or a
-// stream that ends before the run finishes exits 3 (corrupt), matching the
-// bundle subcommands.
+// with exit 0.
+//
+// Transient disconnects of an established stream — a dropped connection,
+// a proxy timeout, a server blip — auto-reconnect with bounded exponential
+// backoff, resuming from the last seen sequence number via the SSE
+// Last-Event-ID header (the bus replays from its resume ring; a "gap"
+// hello flags evicted events). The first connection must succeed: a
+// refused or non-SSE endpoint is a configuration error, and a genuinely
+// corrupt frame always exits 3 immediately — reconnecting cannot repair a
+// stream that violates the wire grammar.
 func cmdWatch(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	retries := fs.Int("retries", 5, "max consecutive reconnect attempts after a transient disconnect")
+	wait := fs.Duration("retry-wait", 500*time.Millisecond, "initial reconnect backoff (doubles per consecutive attempt)")
 	if fs.Parse(args) != nil {
 		return exitUsage
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: runs watch <addr>  (e.g. 127.0.0.1:9090 or http://host:9090/events)")
+		fmt.Fprintln(stderr, "usage: runs watch [-retries N] [-retry-wait D] <addr>  (e.g. 127.0.0.1:9090 or http://host:9090/events)")
 		return exitUsage
 	}
-	url := watchURL(fs.Arg(0))
-
-	resp, err := http.Get(url)
-	if err != nil {
-		fmt.Fprintf(stderr, "runs: watch %s: %v\n", url, err)
-		return exitCorrupt
+	w := &watcher{
+		url:     watchURL(fs.Arg(0)),
+		retries: *retries,
+		wait:    *wait,
+		stdout:  stdout,
+		stderr:  stderr,
+		sleep:   time.Sleep,
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(stderr, "runs: watch %s: %s\n", url, resp.Status)
-		return exitCorrupt
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
-		fmt.Fprintf(stderr, "runs: watch %s: not an event stream (Content-Type %q)\n", url, ct)
-		return exitCorrupt
-	}
-	return watchStream(resp.Body, stdout, stderr)
+	return w.run()
 }
 
-// watchStream renders a decoded event stream; split from cmdWatch so tests
-// can drive it from a recorded stream without a server.
-func watchStream(r io.Reader, stdout, stderr io.Writer) int {
+// watcher is the reconnecting /events client: it tracks the last
+// bus-assigned sequence number across connections and resumes from it.
+type watcher struct {
+	url     string
+	retries int
+	wait    time.Duration
+	lastSeq uint64
+	stdout  io.Writer
+	stderr  io.Writer
+	sleep   func(time.Duration) // test seam
+}
+
+func (w *watcher) run() int {
+	attempt := 0
+	connectedOnce := false
+	for {
+		body, code := w.connect()
+		if body != nil {
+			connectedOnce = true
+			code2, retryable, progressed := w.follow(body)
+			body.Close()
+			if !retryable {
+				return code2
+			}
+			if progressed {
+				// The stream moved before breaking: treat the blip as fresh
+				// rather than part of a consecutive failure run.
+				attempt = 0
+			}
+		} else if !connectedOnce {
+			// Nothing to resume — the endpoint was never a live stream.
+			return code
+		}
+		attempt++
+		if attempt > w.retries {
+			fmt.Fprintf(w.stderr, "runs: watch: giving up after %d reconnect attempt(s)\n", w.retries)
+			return exitCorrupt
+		}
+		delay := w.wait << uint(attempt-1)
+		fmt.Fprintf(w.stderr, "runs: watch: stream interrupted; reconnecting in %s (attempt %d/%d, resume after seq %d)\n",
+			delay, attempt, w.retries, w.lastSeq)
+		w.sleep(delay)
+	}
+}
+
+// connect opens one SSE connection, resuming from lastSeq when set. A nil
+// body means the connection failed; code carries the exit classification.
+func (w *watcher) connect() (io.ReadCloser, int) {
+	req, err := http.NewRequest(http.MethodGet, w.url, nil)
+	if err != nil {
+		fmt.Fprintf(w.stderr, "runs: watch %s: %v\n", w.url, err)
+		return nil, exitCorrupt
+	}
+	if w.lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(w.lastSeq, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintf(w.stderr, "runs: watch %s: %v\n", w.url, err)
+		return nil, exitCorrupt
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(w.stderr, "runs: watch %s: %s\n", w.url, resp.Status)
+		resp.Body.Close()
+		return nil, exitCorrupt
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		fmt.Fprintf(w.stderr, "runs: watch %s: not an event stream (Content-Type %q)\n", w.url, ct)
+		resp.Body.Close()
+		return nil, exitCorrupt
+	}
+	return resp.Body, exitOK
+}
+
+// follow renders one connection's events until the terminal result, a
+// broken read, or a corrupt frame. retryable distinguishes transient
+// breaks (EOF before the run finished, network read errors) from grammar
+// violations; progressed reports whether any sequenced event arrived.
+func (w *watcher) follow(r io.Reader) (code int, retryable, progressed bool) {
 	dec := stream.NewDecoder(r)
 	for {
 		ev, err := dec.Next()
 		if err == io.EOF {
-			fmt.Fprintln(stderr, "runs: watch: stream ended before the run finished")
-			return exitCorrupt
+			fmt.Fprintln(w.stderr, "runs: watch: stream ended before the run finished")
+			return exitCorrupt, true, progressed
 		}
 		if err != nil {
-			fmt.Fprintf(stderr, "runs: watch: %v\n", err)
-			return exitCorrupt
+			fmt.Fprintf(w.stderr, "runs: watch: %v\n", err)
+			return exitCorrupt, !errors.Is(err, stream.ErrCorrupt), progressed
 		}
-		if done := renderEvent(stdout, ev); done {
-			return exitOK
+		if ev.Seq > 0 {
+			w.lastSeq = ev.Seq
+			progressed = true
+		}
+		if done := renderEvent(w.stdout, ev); done {
+			return exitOK, false, progressed
 		}
 	}
+}
+
+// watchStream renders a decoded event stream in one shot (no reconnect);
+// split from the watcher so tests can drive it from a recorded stream
+// without a server.
+func watchStream(r io.Reader, stdout, stderr io.Writer) int {
+	w := &watcher{stdout: stdout, stderr: stderr}
+	code, _, _ := w.follow(r)
+	return code
 }
 
 // renderEvent prints one line per event and reports whether the stream
@@ -90,6 +182,11 @@ func renderEvent(w io.Writer, ev stream.Event) (done bool) {
 	case stream.TypeDIP:
 		fmt.Fprintf(w, "dip: trial=%v iter=%v conflicts=%v solve_ms=%s\n",
 			ev.Data["trial"], ev.Data["iteration"], ev.Data["conflicts"], numStr(ev.Data["solve_ms"]))
+	case stream.TypeStage:
+		fmt.Fprintf(w, "stage: trial=%v iter=%v difficulty=%s lbd=%s restarts=%v xor=%s solve_ms=%s\n",
+			ev.Data["trial"], ev.Data["iteration"], numStr(ev.Data["difficulty"]),
+			numStr(ev.Data["lbd_mean"]), ev.Data["restarts"], numStr(ev.Data["xor_share"]),
+			numStr(ev.Data["solve_ms"]))
 	case stream.TypeInsight:
 		fmt.Fprintf(w, "insight: rank=%v/%v seeds=2^%v\n",
 			ev.Data["rank"], ev.Data["rank_target"], ev.Data["seeds_log2"])
@@ -127,6 +224,14 @@ func deltaLine(d map[string]any) string {
 	field("cycles", "oracle_cycles", "%.0f")
 	field("vars", "encode_vars", "%.0f")
 	field("clauses", "encode_clauses", "%.0f")
+	if p50, ok := d["solve_p50_s"].(float64); ok {
+		p95, _ := d["solve_p95_s"].(float64)
+		p99, _ := d["solve_p99_s"].(float64)
+		fmt.Fprintf(&b, " solve_p50=%s p95=%s p99=%s",
+			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p95*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+	}
 	if rank, ok := d["rank"].(float64); ok {
 		target, _ := d["rank_target"].(float64)
 		fmt.Fprintf(&b, " rank=%.0f/%.0f", rank, target)

@@ -181,6 +181,10 @@ func main() {
 	if stopped {
 		fmt.Printf("\nstopped early (%v): %d condition(s) completed before the bound\n", err, len(rows))
 	}
+	if *recordDir != "" {
+		fmt.Fprintf(os.Stderr, "tables: recorded bundles under %s (attribution: runs explain <bundle>, trends: runs trends %s)\n",
+			*recordDir, *recordDir)
+	}
 	if *jsonPath != "" {
 		rep := jsonReport{
 			Table:          *table,

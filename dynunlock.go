@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"dynunlock/internal/anatomy"
 	"dynunlock/internal/bench"
 	"dynunlock/internal/core"
 	"dynunlock/internal/flight"
@@ -316,6 +317,16 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		return nil, err
 	}
 	res := &ExperimentResult{Entry: entry, Config: cfg}
+	// Anatomy capture rides the same "telemetry is live" gate as the other
+	// observers: a recorder persists it as anatomy.json, a stream bus
+	// publishes "stage" events from it, and a metrics registry surfaces it
+	// as dynunlock_anatomy_* series. With none of the three the capture is
+	// never built and the solver stays hook-free.
+	mh := metrics.From(ctx)
+	var cap *anatomy.Capture
+	if cfg.Recorder != nil || cfg.Stream != nil || mh != nil {
+		cap = anatomy.NewCapture()
+	}
 	if cfg.Recorder != nil {
 		if err := cfg.Recorder.WriteManifest(flight.Manifest{
 			Tool:           cfg.Recorder.Tool,
@@ -331,6 +342,7 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			AIG:            cfg.AIG,
 			Simplify:       cfg.Simplify,
 			Analytic:       cfg.Analytic,
+			Anatomy:        cap != nil,
 			Lock:           flight.LockInfoFor(design),
 			Fingerprint:    flight.NewFingerprint(),
 		}); err != nil {
@@ -361,6 +373,12 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			atkChip = cfg.Recorder.WrapChip(trial, chip)
 			opts.OnDIP = cfg.Recorder.DIPHook(trial)
 		}
+		if cap != nil {
+			cap.StartTrial(trial)
+			opts.Search = cap
+			opts.OnDIP = satattack.ChainObservers(opts.OnDIP, cap.ObserveDIP)
+			opts.OnDIP = satattack.ChainObservers(opts.OnDIP, stagePublisher(cfg.Stream, mh, cap, trial))
+		}
 		// Seed-space insight rides the same OnDIP hook whenever telemetry
 		// is live: a registry or trace sink on ctx turns the tracker on, no
 		// sinks leaves the hot loop untouched. Analytic mode forces the
@@ -368,7 +386,7 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		// the solver. A tracker setup failure (e.g. a nonlinear PRNG the
 		// linear model refuses) degrades to an untracked (and non-analytic)
 		// run rather than failing the attack.
-		if mh := metrics.From(ctx); mh != nil || tr.Enabled() || cfg.Analytic {
+		if mh != nil || tr.Enabled() || cfg.Analytic {
 			if tk, err := insight.New(design, insight.Options{Metrics: mh, Tracer: tr}); err == nil {
 				opts.OnDIP = satattack.ChainObservers(opts.OnDIP, tk.DIPObserver())
 				if cfg.Analytic {
@@ -383,6 +401,9 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		}
 		start := time.Now()
 		atk, err := core.AttackCtx(ctx, atkChip, opts)
+		if cap != nil {
+			cap.EndTrial()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("dynunlock: %s trial %d: %w", entry.Name, trial, err)
 		}
@@ -421,6 +442,11 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 	if cfg.Recorder != nil && res.Stopped {
 		cfg.Recorder.SetStopped(true, string(res.StopReason))
 	}
+	if cfg.Recorder != nil && cap != nil {
+		if err := cfg.Recorder.WriteAnatomy(cap.Doc()); err != nil {
+			return nil, err
+		}
+	}
 	var itersTotal, queriesTotal int
 	var conflictsTotal, propsTotal uint64
 	for _, t := range res.Trials {
@@ -444,6 +470,48 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 		"propagations": propsTotal,
 	}})
 	return res, nil
+}
+
+// stagePublisher surfaces the anatomy capture live at each DIP boundary:
+// one "stage" stream event (trial, iteration, per-iteration solve time and
+// difficulty, cumulative sampled LBD mean, restarts, XOR share) and the
+// dynunlock_anatomy_* metrics series. The bus path is gated on Enabled so
+// an idle bus costs one atomic load; the metrics handle is nil-safe.
+func stagePublisher(bus *stream.Bus, mh *metrics.Handle, cap *anatomy.Capture, trial int) satattack.DIPObserver {
+	var prev sat.Stats
+	return func(iter int, _, _ []bool, stats sat.Stats, solveTime time.Duration) {
+		delta := flight.SolverStats{
+			Conflicts:    stats.Conflicts - prev.Conflicts,
+			Propagations: stats.Propagations - prev.Propagations,
+		}
+		prev = stats
+		difficulty := anatomy.Difficulty(delta)
+		xorShare := 0.0
+		if stats.Propagations > 0 {
+			xorShare = float64(stats.XorPropagations) / float64(stats.Propagations)
+		}
+		if mh != nil {
+			meanLBD, _, restarts := cap.Live()
+			mh.Gauge(metrics.MetricAnatomySolveSeconds).Add(solveTime.Seconds())
+			mh.Gauge(metrics.MetricAnatomyLBDMean).Set(meanLBD)
+			mh.Gauge(metrics.MetricAnatomyRestarts).Set(float64(restarts))
+			mh.Gauge(metrics.MetricAnatomyDifficulty).Set(difficulty)
+			mh.Gauge(metrics.MetricAnatomyXorShare).Set(xorShare)
+		}
+		if bus != nil && bus.Enabled() {
+			meanLBD, samples, restarts := cap.Live()
+			bus.Publish(stream.TypeStage, map[string]any{
+				"trial":       trial,
+				"iteration":   iter,
+				"solve_ms":    float64(solveTime) / float64(time.Millisecond),
+				"difficulty":  difficulty,
+				"lbd_mean":    meanLBD,
+				"lbd_samples": samples,
+				"restarts":    restarts,
+				"xor_share":   xorShare,
+			})
+		}
+	}
 }
 
 // dipPublisher adapts a DIP iteration into one "dip" stream event. The

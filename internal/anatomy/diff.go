@@ -1,0 +1,89 @@
+package anatomy
+
+import "dynunlock/internal/flight"
+
+// CounterNames lists the machine-independent solver series a Diff ranks,
+// in severity-report order.
+var CounterNames = []string{
+	"conflicts", "propagations", "decisions", "restarts", "learnt",
+	"xor_propagations", "xor_conflicts",
+}
+
+// Diff attributes a performance change between two runs of the same
+// configuration: per-stage wall-time movement and per-series solver
+// counter movement, with the worst regression of each kind named.
+type Diff struct {
+	Stages   []StageDelta
+	Counters []CounterDelta
+	// RegressedStage names the stage whose wall time grew the most from A
+	// to B ("" when nothing grew); RegressedStageSeconds is that growth.
+	RegressedStage        string
+	RegressedStageSeconds float64
+	// RegressedCounter names the solver series with the largest relative
+	// growth ("" when nothing grew); RegressedCounterRatio is B/A for it
+	// (B when A is zero).
+	RegressedCounter      string
+	RegressedCounterRatio float64
+}
+
+// StageDelta is one stage's wall-time movement.
+type StageDelta struct {
+	Name     string
+	ASeconds float64
+	BSeconds float64
+}
+
+// CounterDelta is one solver series' movement.
+type CounterDelta struct {
+	Name string
+	A    uint64
+	B    uint64
+}
+
+// Compare attributes the change from report a to report b. Stage rows
+// follow a's order with b-only stages appended; counter rows follow
+// CounterNames.
+func Compare(a, b *Report) *Diff {
+	d := &Diff{}
+	seen := map[string]bool{}
+	for _, s := range a.Stages {
+		seen[s.Name] = true
+		d.Stages = append(d.Stages, StageDelta{Name: s.Name, ASeconds: s.Seconds, BSeconds: b.StageSeconds(s.Name)})
+	}
+	for _, s := range b.Stages {
+		if !seen[s.Name] {
+			d.Stages = append(d.Stages, StageDelta{Name: s.Name, BSeconds: s.Seconds})
+		}
+	}
+	for _, sd := range d.Stages {
+		if grow := sd.BSeconds - sd.ASeconds; grow > d.RegressedStageSeconds {
+			d.RegressedStage = sd.Name
+			d.RegressedStageSeconds = grow
+		}
+	}
+	av, bv := counterValues(a.Solver), counterValues(b.Solver)
+	for i, name := range CounterNames {
+		cd := CounterDelta{Name: name, A: av[i], B: bv[i]}
+		d.Counters = append(d.Counters, cd)
+		if cd.B <= cd.A {
+			continue
+		}
+		ratio := float64(cd.B)
+		if cd.A > 0 {
+			ratio = float64(cd.B) / float64(cd.A)
+		}
+		if ratio > d.RegressedCounterRatio {
+			d.RegressedCounter = name
+			d.RegressedCounterRatio = ratio
+		}
+	}
+	return d
+}
+
+// counterValues orders a stats snapshot like CounterNames.
+func counterValues(s flight.SolverStats) [7]uint64 {
+	return [7]uint64{
+		s.Conflicts, s.Propagations, s.Decisions, s.Restarts, s.Learnt,
+		s.XorPropagations, s.XorConflicts,
+	}
+}

@@ -80,6 +80,9 @@ type Options struct {
 	// satattack.Options.OnDIP). The flight recorder installs it to persist
 	// the per-iteration transcript; nil keeps the hot loop untouched.
 	OnDIP satattack.DIPObserver
+	// Search, when non-nil, taps per-instance solver search telemetry (see
+	// satattack.Options.Search); the anatomy capture layer installs it.
+	Search satattack.SearchObserver
 	// NativeXor encodes XOR gates as native GF(2) solver rows instead of
 	// Tseitin clauses (see satattack.Options.NativeXor). Off by default so
 	// committed flight bundles replay bit-identically.
@@ -234,6 +237,7 @@ func AttackCtx(ctx context.Context, chip Chip, opts Options) (*Result, error) {
 		ConflictBudget: opts.ConflictBudget,
 		Log:            opts.Log,
 		OnDIP:          opts.OnDIP,
+		Search:         opts.Search,
 		NativeXor:      opts.NativeXor,
 		AIG:            opts.AIG,
 		Simplify:       opts.Simplify,

@@ -259,6 +259,7 @@ func AttackMultiCtx(ctx context.Context, chip Chip, captures int, opts Options) 
 		ConflictBudget: opts.ConflictBudget,
 		Log:            opts.Log,
 		OnDIP:          opts.OnDIP,
+		Search:         opts.Search,
 	})
 	if err != nil {
 		return nil, err

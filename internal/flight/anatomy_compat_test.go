@@ -1,0 +1,136 @@
+package flight_test
+
+// Forward-compat tests for the format v4 (anatomy) bump: the reader must
+// accept every committed v1–v3 bundle unchanged, and fresh recordings must
+// carry a live-captured anatomy.json whose telemetry cross-checks against
+// the solver counters in result.json.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynunlock/internal/flight"
+)
+
+// committedBundleDirs walks bench/bundles for every directory holding a
+// manifest.json (bundles may be nested one level under suite directories).
+func committedBundleDirs(t *testing.T) []string {
+	t.Helper()
+	root := filepath.Join("..", "..", "bench", "bundles")
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && d.Name() == flight.ManifestFile {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no committed bundles found under bench/bundles")
+	}
+	return dirs
+}
+
+// TestV4ReaderAcceptsCommittedBundles opens every committed bundle with the
+// v4 reader: all are older formats (v1–v3), must open cleanly, and must
+// report no anatomy telemetry — ReadAnatomy returns (nil, nil) when the
+// file is absent rather than failing.
+func TestV4ReaderAcceptsCommittedBundles(t *testing.T) {
+	for _, dir := range committedBundleDirs(t) {
+		b, err := flight.Open(dir)
+		if err != nil {
+			t.Errorf("%s: open: %v", dir, err)
+			continue
+		}
+		v := b.Manifest.FormatVersion
+		if v < flight.MinFormatVersion || v > flight.FormatVersion {
+			t.Errorf("%s: formatVersion %d outside accepted range [%d, %d]",
+				dir, v, flight.MinFormatVersion, flight.FormatVersion)
+		}
+		if v < flight.FormatVersion && b.Manifest.Anatomy {
+			t.Errorf("%s: pre-v4 bundle claims anatomy telemetry", dir)
+		}
+		doc, err := flight.ReadAnatomy(dir)
+		if err != nil {
+			t.Errorf("%s: ReadAnatomy: %v", dir, err)
+		}
+		if !b.Manifest.Anatomy && doc != nil {
+			t.Errorf("%s: anatomy doc present but manifest does not declare it", dir)
+		}
+	}
+}
+
+// TestFreshRecordingCarriesAnatomy records an experiment through the public
+// facade (the recorder implies the live capture) and checks the v4 surface:
+// the manifest declares the telemetry, anatomy.json reads back, and its
+// restart counts exactly match the solver counters in result.json — the
+// capture hook and sat.Stats count the same events.
+func TestFreshRecordingCarriesAnatomy(t *testing.T) {
+	for name, cfg := range roundTripConfigs() {
+		t.Run(name, func(t *testing.T) {
+			dir, res := recordExperiment(t, cfg)
+			b, err := flight.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Manifest.FormatVersion != flight.FormatVersion {
+				t.Errorf("fresh recording formatVersion %d, want %d",
+					b.Manifest.FormatVersion, flight.FormatVersion)
+			}
+			if !b.Manifest.Anatomy {
+				t.Error("fresh recording does not declare anatomy telemetry")
+			}
+			doc, err := flight.ReadAnatomy(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if doc == nil {
+				t.Fatal("fresh recording has no anatomy.json")
+			}
+			if doc.FormatVersion != flight.AnatomyDocVersion {
+				t.Errorf("anatomy doc version %d, want %d", doc.FormatVersion, flight.AnatomyDocVersion)
+			}
+			if len(doc.Trials) != len(res.Trials) {
+				t.Fatalf("anatomy records %d trials, result has %d", len(doc.Trials), len(res.Trials))
+			}
+			for i, ta := range doc.Trials {
+				tr := b.Result.Trials[i]
+				if ta.Trial != tr.Trial {
+					t.Errorf("anatomy trial %d numbered %d, result says %d", i, ta.Trial, tr.Trial)
+				}
+				// The restart callback fires exactly where Stats.Restarts
+				// increments, so the live capture must agree with the
+				// recorded counter.
+				if ta.Restarts != tr.Solver.Restarts {
+					t.Errorf("trial %d: anatomy restarts %d, result.json solver restarts %d",
+						ta.Trial, ta.Restarts, tr.Solver.Restarts)
+				}
+				if ta.LBD.Samples > tr.Solver.Learnt {
+					t.Errorf("trial %d: %d LBD samples exceed %d learnt clauses",
+						ta.Trial, ta.LBD.Samples, tr.Solver.Learnt)
+				}
+				// Per-DIP segments cover the DIP loop; their totals are
+				// bounded by the trial-wide accumulators.
+				var segRestarts, segSamples uint64
+				for _, d := range ta.DIPs {
+					segRestarts += d.Restarts
+					segSamples += d.LBD.Samples
+				}
+				if segRestarts > ta.Restarts || segSamples > ta.LBD.Samples {
+					t.Errorf("trial %d: DIP segments (%d restarts, %d samples) exceed trial totals (%d, %d)",
+						ta.Trial, segRestarts, segSamples, ta.Restarts, ta.LBD.Samples)
+				}
+				if len(ta.DIPs) > tr.Iterations {
+					t.Errorf("trial %d: %d DIP segments but only %d iterations",
+						ta.Trial, len(ta.DIPs), tr.Iterations)
+				}
+			}
+		})
+	}
+}

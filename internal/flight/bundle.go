@@ -201,6 +201,25 @@ func (b *Bundle) Design() (*lock.Design, error) {
 	return d, nil
 }
 
+// ReadAnatomy loads a bundle's anatomy.json. Bundles recorded without the
+// anatomy capture (all v1–v3 bundles and v4 runs with the capture off)
+// have no such file: that returns (nil, nil), never an error, so readers
+// degrade to the derivable attribution alone.
+func ReadAnatomy(dir string) (*AnatomyDoc, error) {
+	path := filepath.Join(dir, AnatomyFile)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	var doc AnatomyDoc
+	if err := readJSONFile(path, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
 // ReadTrace parses a bundle's trace.jsonl into completed span records (the
 // same shape trace.Collector retains), for stage-table rendering and
 // cross-bundle span diffs.

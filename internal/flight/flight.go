@@ -48,12 +48,14 @@ import (
 //	2  adds Manifest.Profiles: optional pprof captures stored in the bundle
 //	3  adds Manifest.AIG/Simplify (encode-path provenance) and the trial
 //	   encode counters EncodeVars/EncodeClauses
+//	4  adds anatomy.json (live-captured solver search telemetry: LBD
+//	   histograms and restart counts per DIP) and Manifest.Anatomy
 //
 // Readers accept any version in [MinFormatVersion, FormatVersion]: each
 // version is a strict superset of the previous, so older bundles load
 // unchanged (absent fields mean the corresponding feature was off).
 const (
-	FormatVersion    = 3
+	FormatVersion    = 4
 	MinFormatVersion = 1
 )
 
@@ -93,6 +95,11 @@ type Manifest struct {
 	// exact encode path the bundle was recorded with.
 	AIG      bool `json:"aig,omitempty"`
 	Simplify bool `json:"simplify,omitempty"`
+	// Anatomy records that live solver search telemetry was captured into
+	// anatomy.json (format version 4). Absent means the capture was off;
+	// the attribution derivable from the other files (stage wall-time
+	// split, per-DIP counter deltas) is unaffected either way.
+	Anatomy bool `json:"anatomy,omitempty"`
 
 	Lock        LockInfo    `json:"lock"`
 	Fingerprint Fingerprint `json:"fingerprint"`
@@ -226,6 +233,63 @@ type TrialRecord struct {
 	// the whole DIP loop (format version 3; zero and omitted before that).
 	EncodeVars    uint64 `json:"encodeVars,omitempty"`
 	EncodeClauses uint64 `json:"encodeClauses,omitempty"`
+}
+
+// AnatomyDoc is anatomy.json (bundle format version 4): live-captured
+// solver search telemetry that cannot be derived from the other bundle
+// files — sampled learnt-clause LBD histograms and restart telemetry,
+// attack-wide and per DIP. The stage wall-time attribution and per-DIP
+// counter deltas are NOT stored here: internal/anatomy derives them from
+// trace.jsonl, dips.jsonl, and result.json on any bundle version.
+type AnatomyDoc struct {
+	FormatVersion int `json:"formatVersion"` // the doc's own version, 1
+	// LBDBounds are the upper bucket bounds of every LBDHist in the doc;
+	// each histogram has len(LBDBounds)+1 counts (last = overflow).
+	LBDBounds []float64      `json:"lbdBounds"`
+	Trials    []TrialAnatomy `json:"trials"`
+}
+
+// AnatomyDocVersion is the anatomy.json document version written by the
+// capture layer.
+const AnatomyDocVersion = 1
+
+// TrialAnatomy is one trial's live search telemetry.
+type TrialAnatomy struct {
+	Trial int `json:"trial"`
+	// LBD is the trial-wide sampled learnt-clause histogram.
+	LBD LBDHist `json:"lbd"`
+	// Restarts counts solver restarts; RestartConflicts sums the conflict
+	// counts of the restarted search segments.
+	Restarts         uint64 `json:"restarts"`
+	RestartConflicts uint64 `json:"restartConflicts"`
+	// DIPs holds the per-iteration telemetry segments, in iteration order.
+	DIPs []DIPSearchRecord `json:"dips,omitempty"`
+}
+
+// LBDHist is a fixed-bucket histogram of sampled learnt-clause LBDs with
+// summed LBD and clause-size accumulators (the mean sources).
+type LBDHist struct {
+	Counts  []uint64 `json:"counts,omitempty"` // len(bounds)+1; empty when no samples
+	Samples uint64   `json:"samples"`
+	SumLBD  uint64   `json:"sumLBD"`
+	SumSize uint64   `json:"sumSize"`
+}
+
+// MeanLBD returns the mean sampled LBD (0 with no samples).
+func (h LBDHist) MeanLBD() float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	return float64(h.SumLBD) / float64(h.Samples)
+}
+
+// DIPSearchRecord is one DIP iteration's slice of the search telemetry:
+// what the solver's sampled hooks observed between the previous iteration
+// boundary and this one.
+type DIPSearchRecord struct {
+	Iteration int     `json:"iteration"` // 1-based within the trial
+	LBD       LBDHist `json:"lbd"`
+	Restarts  uint64  `json:"restarts"`
 }
 
 // LockInfoFor extracts the serialized locking description from a design.

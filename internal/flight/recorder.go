@@ -29,6 +29,10 @@ const (
 	MetricsFile  = "metrics.json"
 	ResultFile   = "result.json"
 
+	// AnatomyFile holds live-captured solver search telemetry (format
+	// version 4, anatomy-enabled runs only).
+	AnatomyFile = "anatomy.json"
+
 	// Profile capture files (format version 2, -profile runs only).
 	CPUProfileFile  = "cpu.pprof"
 	HeapProfileFile = "heap.pprof"
@@ -299,6 +303,16 @@ func (r *Recorder) SetStopped(stopped bool, reason string) {
 	defer r.mu.Unlock()
 	r.result.Stopped = stopped
 	r.result.StopReason = reason
+}
+
+// WriteAnatomy writes anatomy.json: the live-captured search telemetry
+// document (see AnatomyDoc). A zero FormatVersion is stamped here. Call it
+// before Close, once the capture layer has sealed every trial.
+func (r *Recorder) WriteAnatomy(doc *AnatomyDoc) error {
+	if doc.FormatVersion == 0 {
+		doc.FormatVersion = AnatomyDocVersion
+	}
+	return writeJSONFile(filepath.Join(r.dir, AnatomyFile), doc)
 }
 
 // WriteMetrics writes metrics.json: the terminal snapshot of the live

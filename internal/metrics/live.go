@@ -98,6 +98,9 @@ figcaption{font-size:.85em;font-weight:600;margin-bottom:.2em}
 <div class="tile"><b id="t-seeds">-</b><span>seeds remaining</span></div>
 <div class="tile"><b id="t-eta">-</b><span>ETA</span></div>
 <div class="tile"><b id="t-enc">-</b><span>encode vars / clauses</span></div>
+<div class="tile"><b id="t-difficulty">-</b><span>DIP difficulty</span></div>
+<div class="tile"><b id="t-lbd">-</b><span>mean LBD / restarts</span></div>
+<div class="tile"><b id="t-xor">-</b><span>XOR prop share</span></div>
 <div class="tile"><b id="t-drop">0</b><span>events dropped</span></div>
 </div>
 <div id="chart-convergence"><!--CONVERGENCE--></div>
@@ -290,6 +293,17 @@ function applyDIP(d) {
   if (d.iteration !== undefined) setTile("t-iters", fmtCount(d.iteration));
 }
 
+// applyStage renders the anatomy breakdown published at each DIP boundary
+// (see internal/anatomy): the iteration's difficulty score, the sampled
+// mean learnt-clause LBD with the trial's restart count, and the XOR-layer
+// propagation share.
+function applyStage(d) {
+  if (d.difficulty !== undefined) setTile("t-difficulty", fmtCount(d.difficulty));
+  if (d.lbd_mean !== undefined)
+    setTile("t-lbd", d.lbd_mean.toFixed(1) + " / " + fmtCount(d.restarts || 0));
+  if (d.xor_share !== undefined) setTile("t-xor", (d.xor_share * 100).toFixed(1) + "%");
+}
+
 var status = document.getElementById("status");
 var es = new EventSource("/events");
 var pending = false;
@@ -313,6 +327,7 @@ on("snapshot", applySnapshot);
 on("delta", applyDelta);
 on("insight", applyInsight);
 on("dip", applyDIP);
+on("stage", applyStage);
 on("span", function () {});
 on("result", function (d) {
   if (d.scope === "experiment") {

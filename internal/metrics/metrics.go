@@ -83,6 +83,16 @@ const (
 	MetricInsightSeedsLog2  = "dynunlock_insight_seeds_remaining_log2"
 	MetricInsightETA        = "dynunlock_insight_eta_seconds"
 
+	// Anatomy series (internal/anatomy live attribution, published once
+	// per DIP iteration): cumulative DIP-loop solve wall time, mean
+	// sampled learnt-clause LBD, restart count, the last iteration's
+	// difficulty score, and the XOR-layer propagation share.
+	MetricAnatomySolveSeconds = "dynunlock_anatomy_solve_seconds_total"
+	MetricAnatomyLBDMean      = "dynunlock_anatomy_lbd_mean"
+	MetricAnatomyRestarts     = "dynunlock_anatomy_restarts"
+	MetricAnatomyDifficulty   = "dynunlock_anatomy_dip_difficulty"
+	MetricAnatomyXorShare     = "dynunlock_anatomy_xor_share"
+
 	// Process series (updated by the HTTP server on scrape).
 	MetricProcessRSS  = "dynunlock_process_resident_bytes"
 	MetricGoroutines  = "dynunlock_process_goroutines"
@@ -223,6 +233,61 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the fixed buckets
+// by linear interpolation within the bucket containing the target rank —
+// the same estimate Prometheus's histogram_quantile computes. Returns 0
+// with no observations; ranks landing in the +Inf overflow bucket return
+// the last finite bound (the estimate cannot exceed what the buckets
+// resolve). Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// quantileFromBuckets interpolates a quantile over per-bucket (non-
+// cumulative) counts.
+func quantileFromBuckets(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(bounds[i]-lo)
+		}
+		cum += float64(c)
+	}
+	return bounds[len(bounds)-1]
 }
 
 // ExpBuckets returns n exponentially spaced bucket bounds starting at
@@ -428,10 +493,36 @@ func (r *Registry) Sum(name string) (float64, bool) {
 	return sum, true
 }
 
+// QuantileOf estimates the q-quantile of a histogram family, merging the
+// per-bucket counts of every labeled child (identical bounds by
+// construction). ok is false when the family is absent or not a
+// histogram. Nil-safe. The progress reporter uses it for the latency
+// percentile fields.
+func (r *Registry) QuantileOf(name string, q float64) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != KindHistogram {
+		return 0, false
+	}
+	counts := make([]uint64, len(f.bounds)+1)
+	for _, c := range f.sortedChildren() {
+		for i := range c.hist.buckets {
+			counts[i] += c.hist.buckets[i].Load()
+		}
+	}
+	return quantileFromBuckets(f.bounds, counts, q), true
+}
+
 // Snapshot returns every series as a flat map from "name{labels}" to a
 // JSON-friendly value: float64 for counters and gauges, a
-// {count, sum, buckets} object for histograms. The expvar endpoint and
-// tests consume this.
+// {count, sum, buckets, p50, p95, p99} object for histograms (the
+// quantiles are fixed-bucket interpolation estimates; the Prometheus
+// exposition stays raw buckets). The expvar endpoint and tests consume
+// this.
 func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
@@ -467,6 +558,9 @@ func (r *Registry) Snapshot() map[string]any {
 					"count":   c.hist.Count(),
 					"sum":     c.hist.Sum(),
 					"buckets": buckets,
+					"p50":     c.hist.Quantile(0.50),
+					"p95":     c.hist.Quantile(0.95),
+					"p99":     c.hist.Quantile(0.99),
 				}
 			}
 		}

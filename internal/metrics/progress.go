@@ -171,6 +171,21 @@ func (p *Progress) emit() {
 		line += " rss=" + humanBytes(rss)
 		fields["rss_bytes"] = rss
 	}
+	// Per-DIP SAT-call latency percentiles, estimated from the fixed
+	// histogram buckets (Registry.QuantileOf); present once a DIP-loop
+	// solve has been observed.
+	if n, ok := p.reg.Sum(MetricAttackDIPSolveSec); ok && n > 0 {
+		p50, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.50)
+		p95, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.95)
+		p99, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.99)
+		line += fmt.Sprintf(" solve_p50=%s p95=%s p99=%s",
+			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p95*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond))
+		fields["solve_p50_s"] = p50
+		fields["solve_p95_s"] = p95
+		fields["solve_p99_s"] = p99
+	}
 	// Encode accounting (fields only: the text line predates these series
 	// and stays stable for log scrapers; `runs watch` renders them).
 	if ev, ok := p.reg.Sum(MetricEncodeVars); ok {

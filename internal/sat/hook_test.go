@@ -63,6 +63,78 @@ func TestHookTotalsAcrossIncrementalSolves(t *testing.T) {
 	}
 }
 
+// TestHookLearntSamplingAccounting pins the OnLearnt sampling contract:
+// with LearntEvery=1 every learnt clause is observed, so the sample count
+// equals Stats.Learnt plus the unit-clause conflicts (which learn a
+// single literal rather than a stored clause), and every sampled LBD is
+// bounded by its clause size. With a sparser interval the count shrinks
+// to the sampled fraction, never exceeding the dense count.
+func TestHookLearntSamplingAccounting(t *testing.T) {
+	run := func(every uint64) (obs int, sumSize int, st Stats) {
+		s := New()
+		addPigeonhole(s, 7)
+		s.SetHook(&Hook{
+			LearntEvery: every,
+			OnLearnt: func(lbd int32, size int) {
+				obs++
+				sumSize += size
+				if lbd < 1 || size < 1 {
+					t.Errorf("implausible learnt sample: lbd=%d size=%d", lbd, size)
+				}
+				if int(lbd) > size {
+					t.Errorf("lbd %d exceeds clause size %d", lbd, size)
+				}
+			},
+		})
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP = %v, want UNSAT", got)
+		}
+		return obs, sumSize, s.Stats
+	}
+
+	dense, denseSize, st := run(1)
+	// Every conflict is sampled at interval 1, except the terminal level-0
+	// conflict that proves UNSAT before anything is learnt; Stats.Learnt
+	// counts only stored (≥2-literal) clauses, so dense ≥ learnt.
+	if uint64(dense) != st.Conflicts-1 {
+		t.Fatalf("dense OnLearnt observations = %d, want every learning conflict (%d)", dense, st.Conflicts-1)
+	}
+	if uint64(dense) < st.Learnt {
+		t.Fatalf("dense observations %d < Stats.Learnt %d", dense, st.Learnt)
+	}
+	if denseSize < dense {
+		t.Fatalf("summed sizes %d < observations %d (sizes are ≥1)", denseSize, dense)
+	}
+	sparse, _, _ := run(64)
+	if sparse == 0 || sparse >= dense {
+		t.Fatalf("sparse sampling (every=64) observed %d, want in (0, %d)", sparse, dense)
+	}
+}
+
+func TestHookRestartTotalsMatchStats(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 7)
+	var restarts uint64
+	var segConflicts uint64
+	s.SetHook(&Hook{OnRestart: func(conflicts uint64) {
+		restarts++
+		segConflicts += conflicts
+	}})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP = %v, want UNSAT", st)
+	}
+	if restarts != s.Stats.Restarts {
+		t.Fatalf("OnRestart fired %d times, Stats.Restarts = %d", restarts, s.Stats.Restarts)
+	}
+	if s.Stats.Restarts == 0 {
+		t.Fatal("want at least one restart on PHP-7")
+	}
+	// Per-segment conflict counts never exceed the total.
+	if segConflicts > s.Stats.Conflicts {
+		t.Fatalf("restart segments report %d conflicts, total is %d", segConflicts, s.Stats.Conflicts)
+	}
+}
+
 // TestHookDoesNotPerturbSearch is the bit-identical guarantee behind the
 // metrics layer: the hook observes, never steers.
 func TestHookDoesNotPerturbSearch(t *testing.T) {
@@ -75,6 +147,7 @@ func TestHookDoesNotPerturbSearch(t *testing.T) {
 				LearntEvery: 8,
 				OnSample:    func(Stats, int) {},
 				OnLearnt:    func(int32, int) {},
+				OnRestart:   func(uint64) {},
 			})
 		}
 		if st := s.Solve(); st != Unsat {

@@ -75,28 +75,30 @@ func (m *attackMetrics) observeDIP(iterations int) {
 }
 
 // installSolverMetrics attaches a sampled sat.Hook publishing the
-// instance's counters, learnt-DB gauge, and LBD histogram. With a nil
-// handle no hook is installed, so the solver keeps its zero-overhead
-// search loop.
-func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
-	if h == nil {
+// instance's counters, learnt-DB gauge, and LBD histogram, and feeding
+// the search observer (anatomy capture) when one is installed. With a nil
+// handle and nil observer no hook is installed, so the solver keeps its
+// zero-overhead search loop.
+func installSolverMetrics(h *metrics.Handle, obs SearchObserver, s *sat.Solver, instance int) {
+	if h == nil && obs == nil {
 		return
 	}
-	inst := strconv.Itoa(instance)
-	dec := h.Counter(metrics.MetricSatDecisions, "instance", inst)
-	confl := h.Counter(metrics.MetricSatConflicts, "instance", inst)
-	prop := h.Counter(metrics.MetricSatPropagations, "instance", inst)
-	rest := h.Counter(metrics.MetricSatRestarts, "instance", inst)
-	learnt := h.Counter(metrics.MetricSatLearnt, "instance", inst)
-	removed := h.Counter(metrics.MetricSatRemoved, "instance", inst)
-	xorProp := h.Counter(metrics.MetricSatXorPropagations, "instance", inst)
-	xorConfl := h.Counter(metrics.MetricSatXorConflicts, "instance", inst)
-	simpRemoved := h.Counter(metrics.MetricSatSimplifyRemoved, "instance", inst)
-	simpStrength := h.Counter(metrics.MetricSatSimplifyStrengthened, "instance", inst)
-	db := h.Gauge(metrics.MetricSatLearntDB, "instance", inst)
-	lbd := h.Histogram(metrics.MetricSatLearntLBD, lbdBuckets, "instance", inst)
-	s.SetHook(&sat.Hook{
-		OnSample: func(d sat.Stats, learntDB int) {
+	hook := &sat.Hook{}
+	if h != nil {
+		inst := strconv.Itoa(instance)
+		dec := h.Counter(metrics.MetricSatDecisions, "instance", inst)
+		confl := h.Counter(metrics.MetricSatConflicts, "instance", inst)
+		prop := h.Counter(metrics.MetricSatPropagations, "instance", inst)
+		rest := h.Counter(metrics.MetricSatRestarts, "instance", inst)
+		learnt := h.Counter(metrics.MetricSatLearnt, "instance", inst)
+		removed := h.Counter(metrics.MetricSatRemoved, "instance", inst)
+		xorProp := h.Counter(metrics.MetricSatXorPropagations, "instance", inst)
+		xorConfl := h.Counter(metrics.MetricSatXorConflicts, "instance", inst)
+		simpRemoved := h.Counter(metrics.MetricSatSimplifyRemoved, "instance", inst)
+		simpStrength := h.Counter(metrics.MetricSatSimplifyStrengthened, "instance", inst)
+		db := h.Gauge(metrics.MetricSatLearntDB, "instance", inst)
+		lbd := h.Histogram(metrics.MetricSatLearntLBD, lbdBuckets, "instance", inst)
+		hook.OnSample = func(d sat.Stats, learntDB int) {
 			dec.Add(d.Decisions)
 			confl.Add(d.Conflicts)
 			prop.Add(d.Propagations)
@@ -108,9 +110,24 @@ func installSolverMetrics(h *metrics.Handle, s *sat.Solver, instance int) {
 			simpRemoved.Add(d.SimplifyRemoved)
 			simpStrength.Add(d.SimplifyStrengthened)
 			db.Set(float64(learntDB))
-		},
-		OnLearnt: func(l int32, size int) {
+		}
+		hook.OnLearnt = func(l int32, size int) {
 			lbd.Observe(float64(l))
-		},
-	})
+		}
+	}
+	if obs != nil {
+		// One hook per solver: compose the metrics publication (when live)
+		// with the observer's capture in a single callback set.
+		prevLearnt := hook.OnLearnt
+		hook.OnLearnt = func(l int32, size int) {
+			if prevLearnt != nil {
+				prevLearnt(l, size)
+			}
+			obs.SearchLearnt(instance, l, size)
+		}
+		hook.OnRestart = func(conflicts uint64) {
+			obs.SearchRestart(instance, conflicts)
+		}
+	}
+	s.SetHook(hook)
 }

@@ -93,7 +93,7 @@ func newPortfolio(l *Locked, opts Options, mh *metrics.Handle) (*portfolio, erro
 	for i := 0; i < n; i++ {
 		s := sat.NewWithConfig(sat.Diversify(i))
 		s.ConflictBudget = opts.ConflictBudget
-		installSolverMetrics(mh, s, i)
+		installSolverMetrics(mh, opts.Search, s, i)
 		p.winCtr = append(p.winCtr, mh.Counter(metrics.MetricPortfolioWins, "instance", strconv.Itoa(i)))
 		e := encode.NewWithConfig(s, encode.Config{NativeXor: opts.NativeXor})
 		in := &pfInstance{

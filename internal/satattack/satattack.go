@@ -141,6 +141,13 @@ type Options struct {
 	// Equivalence-preserving, so candidate sets are unchanged. Off by
 	// default; the CLIs enable it.
 	Simplify bool
+	// Search, when non-nil, taps the sampled solver search telemetry that
+	// the metrics hook sees — learnt-clause LBD observations and restarts —
+	// per solver instance. The anatomy capture layer (internal/anatomy)
+	// implements it to build per-DIP LBD histograms and restart telemetry.
+	// It is strictly observational and composes with the metrics hook; nil
+	// keeps the no-telemetry solver path hook-free.
+	Search SearchObserver
 	// Insight, when non-nil, closes the insight→solver feedback loop:
 	// after each DIP the freshly certified key constraints are injected
 	// into the solver(s) as XOR rows, and once the source determines the
@@ -176,6 +183,15 @@ type InsightSource interface {
 
 // DIPObserver receives one callback per DIP iteration (see Options.OnDIP).
 type DIPObserver func(iteration int, dip, resp []bool, stats sat.Stats, solveTime time.Duration)
+
+// SearchObserver receives solver search telemetry per instance (see
+// Options.Search): sampled learnt-clause LBD/size observations and every
+// restart with its segment conflict count. Implementations must tolerate
+// concurrent calls when the attack runs a portfolio.
+type SearchObserver interface {
+	SearchLearnt(instance int, lbd int32, size int)
+	SearchRestart(instance int, conflicts uint64)
+}
 
 // ChainObservers composes DIP observers into one that invokes each in
 // order (the flight recorder first, then the insight tracker, …). Nil
@@ -314,7 +330,7 @@ func RunCtx(ctx context.Context, l *Locked, o Oracle, opts Options) (*Result, er
 	enc := tr.Start("encode")
 	s := sat.New()
 	s.ConflictBudget = opts.ConflictBudget
-	installSolverMetrics(mh, s, 0)
+	installSolverMetrics(mh, opts.Search, s, 0)
 	e := encode.NewWithConfig(s, encode.Config{NativeXor: opts.NativeXor})
 
 	// Stage one of the AIG pipeline: compile the locked view once into a

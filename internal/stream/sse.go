@@ -68,7 +68,7 @@ func ParseEvent(b []byte) (Event, error) {
 		return Event{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	switch ev.Type {
-	case TypeHello, TypeSnapshot, TypeDelta, TypeDIP, TypeInsight, TypeSpan, TypeResult:
+	case TypeHello, TypeSnapshot, TypeDelta, TypeDIP, TypeInsight, TypeSpan, TypeResult, TypeStage:
 		return ev, nil
 	case "":
 		return Event{}, fmt.Errorf("%w: event without a type", ErrCorrupt)

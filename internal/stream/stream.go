@@ -62,6 +62,11 @@ const (
 	// per-trial result ("trial") from the experiment-terminal one
 	// ("experiment") that ends a `runs watch` session.
 	TypeResult = "result"
+	// TypeStage is the anatomy breakdown published at each DIP boundary:
+	// trial, iteration, cumulative solve_ms, per-iteration difficulty,
+	// sampled mean LBD, restarts, and XOR propagation share (see
+	// internal/anatomy).
+	TypeStage = "stage"
 )
 
 // Proto is the stream schema version carried in hello events. Bump it

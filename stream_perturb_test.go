@@ -58,7 +58,8 @@ func TestStreamDoesNotPerturbAttack(t *testing.T) {
 
 // TestStreamPublishesDIPEvents covers the live side of the same hook: with
 // a subscriber attached, each DIP iteration publishes one "dip" event
-// whose iteration numbers count up per trial.
+// whose iteration numbers count up per trial, plus one "stage" anatomy
+// event carrying the iteration's difficulty score.
 func TestStreamPublishesDIPEvents(t *testing.T) {
 	bus := stream.NewBusSized(4096, 4096)
 	sub := bus.Subscribe(0)
@@ -85,30 +86,40 @@ func TestStreamPublishesDIPEvents(t *testing.T) {
 		wantIters += tr.Iterations
 	}
 
-	got := 0
+	got, stages := 0, 0
 	perTrial := map[int]int{}
 	for {
 		ev, ok, _ := sub.Next(nil, 0)
 		if !ok {
 			break
 		}
-		if ev.Type != stream.TypeDIP {
+		switch ev.Type {
+		case stream.TypeDIP:
+			trial := ev.Data["trial"].(int)
+			iter := ev.Data["iteration"].(int)
+			perTrial[trial]++
+			if iter != perTrial[trial] {
+				t.Fatalf("trial %d: dip iteration %d arrived out of order (want %d)",
+					trial, iter, perTrial[trial])
+			}
+			if s, ok := ev.Data["dip"].(string); !ok || s == "" {
+				t.Fatalf("dip event missing dip bits: %+v", ev.Data)
+			}
+			got++
+		case stream.TypeStage:
+			if _, ok := ev.Data["difficulty"].(float64); !ok {
+				t.Fatalf("stage event missing difficulty score: %+v", ev.Data)
+			}
+			stages++
+		default:
 			t.Fatalf("unexpected event type %q", ev.Type)
 		}
-		trial := ev.Data["trial"].(int)
-		iter := ev.Data["iteration"].(int)
-		perTrial[trial]++
-		if iter != perTrial[trial] {
-			t.Fatalf("trial %d: dip iteration %d arrived out of order (want %d)",
-				trial, iter, perTrial[trial])
-		}
-		if s, ok := ev.Data["dip"].(string); !ok || s == "" {
-			t.Fatalf("dip event missing dip bits: %+v", ev.Data)
-		}
-		got++
 	}
 	if got != wantIters {
 		t.Errorf("published %d dip events, trials report %d iterations", got, wantIters)
+	}
+	if stages != wantIters {
+		t.Errorf("published %d stage events, want one per DIP iteration (%d)", stages, wantIters)
 	}
 	if sub.Dropped() != 0 {
 		t.Errorf("ring dropped %d events; size the test ring above the workload", sub.Dropped())
