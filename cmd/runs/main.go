@@ -17,7 +17,7 @@
 //	                                    render bundles into a self-contained HTML report
 //	runs trends [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
 //	                                    render a cross-run trend report (SVG charts)
-//	runs watch <addr>                   follow a live run's /events feed in the terminal
+//	runs watch [-job ID] <addr>         follow a live run's /events feed in the terminal
 //
 // explain is the attribution tool (see internal/anatomy): wall time split
 // across the Fig. 3 stages (rows sum exactly to the recorded wall time),
@@ -126,7 +126,8 @@ func usage(stderr io.Writer) int {
                                   render bundles into one self-contained HTML report
   trends [-o FILE] [-bench FILE] [-title T] <bundle-or-dir>...
                                   render a cross-run trend report (SVG charts)
-  watch <addr>                    follow a live run's /events feed in the terminal
+  watch [-job ID] <addr>          follow a live run's /events feed in the terminal
+                                  (-job filters to one dynunlockd job and exits at its terminal state)
 
 exit codes: 0 ok/match · 1 mismatch (replay divergence, diff or baseline
 mismatch) · 2 usage · 3 corrupt or unreadable bundle/ledger/event stream`)

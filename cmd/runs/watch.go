@@ -19,7 +19,10 @@ import (
 // It is the headless sibling of the /live dashboard: the delta lines are a
 // superset of the -progress line (they add encode vars/clauses), and the
 // stream's terminal "result" event with scope "experiment" ends the watch
-// with exit 0.
+// with exit 0. With -job the terminal condition is the dynunlockd job's
+// own lifecycle instead: "done" exits 0, "failed"/"evicted" exit 1 — the
+// experiment result is rendered but does not end the watch, since the
+// job's bundle only closes (and its state only settles) afterwards.
 //
 // Transient disconnects of an established stream — a dropped connection,
 // a proxy timeout, a server blip — auto-reconnect with bounded exponential
@@ -34,20 +37,29 @@ func cmdWatch(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	retries := fs.Int("retries", 5, "max consecutive reconnect attempts after a transient disconnect")
 	wait := fs.Duration("retry-wait", 500*time.Millisecond, "initial reconnect backoff (doubles per consecutive attempt)")
+	job := fs.String("job", "", "follow one dynunlockd job: filter the feed to its envelopes and exit when it reaches a terminal state")
 	if fs.Parse(args) != nil {
 		return exitUsage
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: runs watch [-retries N] [-retry-wait D] <addr>  (e.g. 127.0.0.1:9090 or http://host:9090/events)")
+		fmt.Fprintln(stderr, "usage: runs watch [-retries N] [-retry-wait D] [-job ID] <addr>  (e.g. 127.0.0.1:9090 or http://host:9090/events)")
 		return exitUsage
 	}
 	w := &watcher{
 		url:     watchURL(fs.Arg(0)),
+		job:     *job,
 		retries: *retries,
 		wait:    *wait,
 		stdout:  stdout,
 		stderr:  stderr,
 		sleep:   time.Sleep,
+	}
+	if w.job != "" {
+		sep := "?"
+		if strings.Contains(w.url, "?") {
+			sep = "&"
+		}
+		w.url += sep + "job=" + w.job
 	}
 	return w.run()
 }
@@ -56,6 +68,7 @@ func cmdWatch(args []string, stdout, stderr io.Writer) int {
 // bus-assigned sequence number across connections and resumes from it.
 type watcher struct {
 	url     string
+	job     string // when set, a terminal job lifecycle event ends the watch
 	retries int
 	wait    time.Duration
 	lastSeq uint64
@@ -146,8 +159,23 @@ func (w *watcher) follow(r io.Reader) (code int, retryable, progressed bool) {
 			w.lastSeq = ev.Seq
 			progressed = true
 		}
-		if done := renderEvent(w.stdout, ev); done {
+		// The experiment result ends a plain watch; in -job mode the job
+		// is not terminal until the daemon says so (its bundle closes and
+		// the lifecycle event lands after the result), so keep following.
+		if done := renderEvent(w.stdout, ev); done && w.job == "" {
 			return exitOK, false, progressed
+		}
+		// Watching one job, its lifecycle is the terminal condition: done
+		// exits 0, failed/evicted exit 1 (a job evicted mid-run will not
+		// produce its experiment result event).
+		if w.job != "" && ev.Type == stream.TypeJob && ev.Job == w.job {
+			switch state, _ := ev.Data["state"].(string); state {
+			case "done":
+				return exitOK, false, progressed
+			case "failed", "evicted":
+				fmt.Fprintf(w.stderr, "runs: watch: job %s %s\n", w.job, state)
+				return exitMismatch, false, progressed
+			}
 		}
 	}
 }
@@ -192,6 +220,15 @@ func renderEvent(w io.Writer, ev stream.Event) (done bool) {
 			ev.Data["rank"], ev.Data["rank_target"], ev.Data["seeds_log2"])
 	case stream.TypeSpan:
 		fmt.Fprintf(w, "span: %v %sms\n", ev.Data["span"], numStr(ev.Data["dur_ms"]))
+	case stream.TypeJob:
+		line := fmt.Sprintf("job: %v state=%v", ev.Data["job"], ev.Data["state"])
+		if rf, ok := ev.Data["resumed_from"].(string); ok && rf != "" {
+			line += " resumed_from=" + rf
+		}
+		if msg, ok := ev.Data["error"].(string); ok && msg != "" {
+			line += " error=" + strconv.Quote(msg)
+		}
+		fmt.Fprintln(w, line)
 	case stream.TypeResult:
 		scope, _ := ev.Data["scope"].(string)
 		if scope == "experiment" {

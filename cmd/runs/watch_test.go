@@ -113,3 +113,75 @@ func TestWatchURLNormalization(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchJobFollowsOneJobToTerminalState drives `watch -job`: the feed
+// filter keeps the other job's envelopes out, job lifecycle frames render
+// as lines, and the watched job's terminal state ends the watch (done →
+// exit 0).
+func TestWatchJobFollowsOneJobToTerminalState(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bus := stream.NewBus()
+	srv, err := metrics.ServeBus("127.0.0.1:0", reg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	go func() {
+		for !bus.Enabled() {
+			time.Sleep(time.Millisecond)
+		}
+		j1, j2 := bus.WithJob("job-0001"), bus.WithJob("job-0002")
+		j1.Publish(stream.TypeJob, map[string]any{"job": "job-0001", "state": "running"})
+		j2.Publish(stream.TypeJob, map[string]any{"job": "job-0002", "state": "running"})
+		j2.Publish(stream.TypeDIP, map[string]any{"trial": 0, "iteration": 1})
+		j1.Publish(stream.TypeJob, map[string]any{"job": "job-0001", "state": "done"})
+		j2.Publish(stream.TypeJob, map[string]any{"job": "job-0002", "state": "failed", "error": "boom"})
+	}()
+
+	code, out, errOut := runCLI(t, "watch", "-job", "job-0001", srv.Addr())
+	if code != exitOK {
+		t.Fatalf("watch -job exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	for _, want := range []string{
+		"job: job-0001 state=running",
+		"job: job-0001 state=done",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "job-0002") {
+		t.Errorf("watch leaked the other job's events:\n%s", out)
+	}
+}
+
+// TestWatchJobTerminalFailureExitsMismatch: a watched job ending failed
+// or evicted exits 1 — it will never emit its experiment result event.
+func TestWatchJobTerminalFailureExitsMismatch(t *testing.T) {
+	reg := metrics.NewRegistry()
+	bus := stream.NewBus()
+	srv, err := metrics.ServeBus("127.0.0.1:0", reg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	go func() {
+		for !bus.Enabled() {
+			time.Sleep(time.Millisecond)
+		}
+		j := bus.WithJob("job-0009")
+		j.Publish(stream.TypeJob, map[string]any{"job": "job-0009", "state": "running"})
+		j.Publish(stream.TypeJob, map[string]any{"job": "job-0009", "state": "evicted", "error": "cancelled mid-run"})
+	}()
+
+	code, out, errOut := runCLI(t, "watch", "-job", "job-0009", srv.Addr())
+	if code != exitMismatch {
+		t.Fatalf("watch -job (evicted) exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, exitMismatch, out, errOut)
+	}
+	if !strings.Contains(out, `state=evicted error="cancelled mid-run"`) {
+		t.Errorf("eviction line missing from output:\n%s", out)
+	}
+}

@@ -102,6 +102,12 @@ type ExperimentConfig struct {
 	// outcome is appended to result.json. Nil costs nothing — the attack
 	// path is untouched.
 	Recorder *flight.Recorder
+	// ChipWrapper, when non-nil, wraps each trial's fabricated chip before
+	// the attack (and before the Recorder's own wrapping, so a recorder
+	// sees the wrapped chip's answers). The resume path uses this to chain
+	// a transcript replay in front of the live chip; success scoring still
+	// reads the secret seed from the unwrapped oracle.
+	ChipWrapper func(trial int, chip core.Chip) core.Chip
 	// Stream, when non-nil, publishes live attack events to the bus: one
 	// "dip" event per DIP iteration and a terminal "result" via the trace
 	// layer. With no subscribers attached the publish path is a single
@@ -369,8 +375,11 @@ func RunExperimentCtx(ctx context.Context, cfg ExperimentConfig) (*ExperimentRes
 			Log:            cfg.Log,
 		}
 		var atkChip core.Chip = chip
+		if cfg.ChipWrapper != nil {
+			atkChip = cfg.ChipWrapper(trial, atkChip)
+		}
 		if cfg.Recorder != nil {
-			atkChip = cfg.Recorder.WrapChip(trial, chip)
+			atkChip = cfg.Recorder.WrapChip(trial, atkChip)
 			opts.OnDIP = cfg.Recorder.DIPHook(trial)
 		}
 		if cap != nil {

@@ -61,8 +61,21 @@ type Recorder struct {
 	result   ResultDoc
 	start    time.Time
 	closed   bool
+	durable  bool
 	cpuF     *os.File
 	profiles []string
+}
+
+// SetDurable switches the transcript writers to flush-per-record: every
+// oracle.jsonl and dips.jsonl append reaches the file before the attack
+// proceeds, so a killed process leaves a loadable prefix (at worst one
+// torn final line, which OpenPartial drops). The daemon records every
+// job durably — resumability is what makes its bundles trustworthy;
+// single-run CLIs keep the buffered default (flush at Close).
+func (r *Recorder) SetDurable(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.durable = on
 }
 
 // Create opens a new bundle directory (making it if needed) and the
@@ -194,6 +207,9 @@ func (r *Recorder) DIPHook(trial int) satattack.DIPObserver {
 			return
 		}
 		appendJSONL(r.dipsW, &rec)
+		if r.durable {
+			r.dipsW.Flush()
+		}
 	}
 }
 
@@ -258,6 +274,9 @@ func (c *recordingChip) SessionN(testKey, scanIn []bool, pis [][]bool) (scanOut 
 	rec.Seq = c.rec.seq
 	c.rec.seq++
 	appendJSONL(c.rec.oracleW, &rec)
+	if c.rec.durable {
+		c.rec.oracleW.Flush()
+	}
 	return scanOut, pos
 }
 
@@ -319,7 +338,14 @@ func (r *Recorder) WriteAnatomy(doc *AnatomyDoc) error {
 // registry. A nil registry writes an empty document so the bundle layout
 // stays uniform.
 func (r *Recorder) WriteMetrics(reg *metrics.Registry) error {
-	snap := reg.Snapshot()
+	return r.WriteMetricsSnapshot(reg.Snapshot())
+}
+
+// WriteMetricsSnapshot writes metrics.json from a prebuilt snapshot map
+// — the daemon scopes a shared registry down to one job's series
+// (Registry.SnapshotLabeled) before recording it, so a job's bundle
+// carries only its own totals.
+func (r *Recorder) WriteMetricsSnapshot(snap map[string]any) error {
 	if snap == nil {
 		snap = map[string]any{}
 	}

@@ -42,6 +42,33 @@ func WithLabels(ctx context.Context, labelPairs ...string) context.Context {
 	})
 }
 
+// WithLabels returns a Handle on r whose base labels are merged into
+// every instrument created through it — a label-scoped view of the
+// registry. The daemon gives each job the view WithLabels("job", id)
+// (installed on the job's context via WithHandle) so every dynunlock_*
+// series the attack publishes carries the job label without any
+// instrumentation call site changing. A nil registry returns the nil
+// no-op handle; no label pairs returns an unscoped handle.
+func (r *Registry) WithLabels(labelPairs ...string) *Handle {
+	if r == nil {
+		return nil
+	}
+	if len(labelPairs)%2 != 0 {
+		panic("metrics: odd number of label pair elements")
+	}
+	return &Handle{reg: r, base: labelPairs}
+}
+
+// WithHandle returns a context carrying h verbatim — how a prebuilt
+// label-scoped view (Registry.WithLabels) is installed for the layers
+// below. A nil handle returns ctx unchanged.
+func WithHandle(ctx context.Context, h *Handle) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, h)
+}
+
 // From returns the handle carried by ctx, or nil when telemetry is
 // disabled. All Handle methods are nil-safe, so callers never branch on
 // the result — but hot paths may check for nil once to skip timing work.

@@ -305,7 +305,9 @@ function applyStage(d) {
 }
 
 var status = document.getElementById("status");
-var es = new EventSource("/events");
+// /live?job=<id> scopes the dashboard to one daemon job by passing the
+// query through to the SSE endpoint's ?job= filter.
+var es = new EventSource("/events" + location.search);
 var pending = false;
 function scheduleRedraw() {
   if (pending) return;

@@ -97,6 +97,12 @@ const (
 	MetricProcessRSS  = "dynunlock_process_resident_bytes"
 	MetricGoroutines  = "dynunlock_process_goroutines"
 	MetricProcessHeap = "dynunlock_process_heap_bytes"
+	// Liveness signals for long-running services (dynunlockd): seconds
+	// since the metrics server started, and the goroutine count under its
+	// conventional short name (MetricGoroutines predates the daemon and
+	// keeps its dynunlock_process_ prefix; both are refreshed on scrape).
+	MetricProcessUptime  = "dynunlock_process_uptime_seconds"
+	MetricGoroutinesBare = "dynunlock_goroutines"
 
 	// Build self-description: a constant-1 gauge whose labels identify
 	// the binary (go version, flight-bundle format version, default
@@ -493,6 +499,68 @@ func (r *Registry) Sum(name string) (float64, bool) {
 	return sum, true
 }
 
+// SumLabeled is Sum restricted to children carrying every given label
+// pair — what a per-job progress sampler totals so concurrent jobs in
+// one registry do not bleed into each other's deltas. Nil-safe.
+func (r *Registry) SumLabeled(name string, labelPairs ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	want := normalizePairs(labelPairs)
+	if len(want) == 0 {
+		return r.Sum(name)
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	for _, c := range f.sortedChildren() {
+		if !labelsContain(c.labels, want) {
+			continue
+		}
+		switch f.kind {
+		case KindCounter:
+			sum += float64(c.ctr.Value())
+		case KindGauge:
+			sum += c.gauge.Value()
+		case KindHistogram:
+			sum += float64(c.hist.Count())
+		}
+	}
+	return sum, true
+}
+
+// QuantileOfLabeled is QuantileOf restricted to children carrying every
+// given label pair. Nil-safe.
+func (r *Registry) QuantileOfLabeled(name string, q float64, labelPairs ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	want := normalizePairs(labelPairs)
+	if len(want) == 0 {
+		return r.QuantileOf(name, q)
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok || f.kind != KindHistogram {
+		return 0, false
+	}
+	counts := make([]uint64, len(f.bounds)+1)
+	for _, c := range f.sortedChildren() {
+		if !labelsContain(c.labels, want) {
+			continue
+		}
+		for i := range c.hist.buckets {
+			counts[i] += c.hist.buckets[i].Load()
+		}
+	}
+	return quantileFromBuckets(f.bounds, counts, q), true
+}
+
 // QuantileOf estimates the q-quantile of a histogram family, merging the
 // per-bucket counts of every labeled child (identical bounds by
 // construction). ok is false when the family is absent or not a
@@ -524,6 +592,27 @@ func (r *Registry) QuantileOf(name string, q float64) (float64, bool) {
 // exposition stays raw buckets). The expvar endpoint and tests consume
 // this.
 func (r *Registry) Snapshot() map[string]any {
+	return r.snapshotWhere(nil)
+}
+
+// SnapshotLabeled returns the Snapshot restricted to series carrying
+// every given label pair exactly — the per-job view: the daemon writes a
+// job's bundle metrics.json and its filtered SSE snapshots from
+// SnapshotLabeled("job", id). Nil-safe.
+func (r *Registry) SnapshotLabeled(labelPairs ...string) map[string]any {
+	if r == nil {
+		return nil
+	}
+	want := normalizePairs(labelPairs)
+	if len(want) == 0 {
+		return r.snapshotWhere(nil)
+	}
+	return r.snapshotWhere(func(c *child) bool { return labelsContain(c.labels, want) })
+}
+
+// snapshotWhere builds the snapshot map over children accepted by match
+// (nil matches all).
+func (r *Registry) snapshotWhere(match func(*child) bool) map[string]any {
 	if r == nil {
 		return nil
 	}
@@ -536,6 +625,9 @@ func (r *Registry) Snapshot() map[string]any {
 	r.mu.RUnlock()
 	for _, f := range fams {
 		for _, c := range f.sortedChildren() {
+			if match != nil && !match(c) {
+				continue
+			}
 			key := f.name
 			if c.key != "" {
 				key += "{" + c.key + "}"
@@ -654,6 +746,24 @@ func mergePairs(base, extra []string) []string {
 		}
 	}
 	return append(out, extra...)
+}
+
+// labelsContain reports whether the sorted alternating label list
+// carries every (key, value) pair of want exactly.
+func labelsContain(labels, want []string) bool {
+	for i := 0; i+1 < len(want); i += 2 {
+		found := false
+		for j := 0; j+1 < len(labels); j += 2 {
+			if labels[j] == want[i] {
+				found = labels[j+1] == want[i+1]
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 func equalBounds(a, b []float64) bool {

@@ -30,6 +30,7 @@ type Progress struct {
 	interval time.Duration
 	jsonMode bool
 	bus      *stream.Bus
+	scope    []string // label pairs restricting the sums (per-job sampler)
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -70,6 +71,18 @@ func (p *Progress) SetJSON(on bool) {
 		return
 	}
 	p.jsonMode = on
+}
+
+// SetScope restricts every sum and quantile behind the snapshot to
+// series carrying the given label pairs (Registry.SumLabeled) — a
+// per-job sampler in the daemon scopes to ("job", id) so concurrent
+// jobs sharing one registry do not bleed into each other's delta
+// events. Call before Start. Nil-safe.
+func (p *Progress) SetScope(labelPairs ...string) {
+	if p == nil {
+		return
+	}
+	p.scope = labelPairs
 }
 
 // AttachStream publishes each snapshot to b as a "delta" stream event in
@@ -133,10 +146,26 @@ func (p *Progress) run() {
 	}
 }
 
+// sum totals one family within the reporter's label scope.
+func (p *Progress) sum(name string) (float64, bool) {
+	if len(p.scope) > 0 {
+		return p.reg.SumLabeled(name, p.scope...)
+	}
+	return p.reg.Sum(name)
+}
+
+// quantile estimates one quantile within the reporter's label scope.
+func (p *Progress) quantile(name string, q float64) (float64, bool) {
+	if len(p.scope) > 0 {
+		return p.reg.QuantileOfLabeled(name, q, p.scope...)
+	}
+	return p.reg.QuantileOf(name, q)
+}
+
 // emit renders one snapshot line and trace event.
 func (p *Progress) emit() {
 	now := time.Now()
-	sum := func(name string) float64 { v, _ := p.reg.Sum(name); return v }
+	sum := func(name string) float64 { v, _ := p.sum(name); return v }
 	iters := sum(MetricAttackDIPs)
 	conflicts := sum(MetricSatConflicts)
 	props := sum(MetricSatPropagations)
@@ -174,10 +203,10 @@ func (p *Progress) emit() {
 	// Per-DIP SAT-call latency percentiles, estimated from the fixed
 	// histogram buckets (Registry.QuantileOf); present once a DIP-loop
 	// solve has been observed.
-	if n, ok := p.reg.Sum(MetricAttackDIPSolveSec); ok && n > 0 {
-		p50, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.50)
-		p95, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.95)
-		p99, _ := p.reg.QuantileOf(MetricAttackDIPSolveSec, 0.99)
+	if n, ok := p.sum(MetricAttackDIPSolveSec); ok && n > 0 {
+		p50, _ := p.quantile(MetricAttackDIPSolveSec, 0.50)
+		p95, _ := p.quantile(MetricAttackDIPSolveSec, 0.95)
+		p99, _ := p.quantile(MetricAttackDIPSolveSec, 0.99)
 		line += fmt.Sprintf(" solve_p50=%s p95=%s p99=%s",
 			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
 			time.Duration(p95*float64(time.Second)).Round(time.Microsecond),
@@ -188,25 +217,25 @@ func (p *Progress) emit() {
 	}
 	// Encode accounting (fields only: the text line predates these series
 	// and stays stable for log scrapers; `runs watch` renders them).
-	if ev, ok := p.reg.Sum(MetricEncodeVars); ok {
+	if ev, ok := p.sum(MetricEncodeVars); ok {
 		fields["encode_vars"] = ev
 	}
-	if ec, ok := p.reg.Sum(MetricEncodeClauses); ok {
+	if ec, ok := p.sum(MetricEncodeClauses); ok {
 		fields["encode_clauses"] = ec
 	}
 	// Seed-space progress, when an insight tracker publishes it: the
 	// certified rank over its analytic ceiling, the surviving seed-space
 	// exponent, and the DIP-rate ETA (absent until the first rank gain).
-	if rank, ok := p.reg.Sum(MetricInsightRank); ok {
-		target, _ := p.reg.Sum(MetricInsightRankTarget)
+	if rank, ok := p.sum(MetricInsightRank); ok {
+		target, _ := p.sum(MetricInsightRankTarget)
 		line += fmt.Sprintf(" rank=%.0f/%.0f", rank, target)
 		fields["rank"] = rank
 		fields["rank_target"] = target
-		if seeds, ok := p.reg.Sum(MetricInsightSeedsLog2); ok {
+		if seeds, ok := p.sum(MetricInsightSeedsLog2); ok {
 			line += fmt.Sprintf(" seeds=2^%.0f", seeds)
 			fields["seeds_log2"] = seeds
 		}
-		if eta, ok := p.reg.Sum(MetricInsightETA); ok && rank < target {
+		if eta, ok := p.sum(MetricInsightETA); ok && rank < target {
 			line += " eta=" + time.Duration(eta*float64(time.Second)).Round(time.Second).String()
 			fields["eta_s"] = eta
 		}

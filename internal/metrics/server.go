@@ -28,10 +28,12 @@ import (
 // gauges (RSS, heap, goroutines) so they are sampled lazily instead of by
 // a background poller.
 type Server struct {
-	reg *Registry
-	bus *stream.Bus
-	ln  net.Listener
-	srv *http.Server
+	reg   *Registry
+	bus   *stream.Bus
+	ln    net.Listener
+	srv   *http.Server
+	mux   *http.ServeMux
+	start time.Time
 	// handlerDelay, when non-zero, sleeps each request handler before it
 	// writes — a test hook for exercising Shutdown's in-flight draining.
 	handlerDelay time.Duration
@@ -65,7 +67,7 @@ func ServeBus(addr string, r *Registry, bus *stream.Bus) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: r, bus: bus, ln: ln, sseSubs: make(map[*stream.Subscriber]struct{})}
+	s := &Server{reg: r, bus: bus, ln: ln, start: time.Now(), sseSubs: make(map[*stream.Subscriber]struct{})}
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -83,10 +85,56 @@ func ServeBus(addr string, r *Registry, bus *stream.Bus) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/events", s.serveEvents)
 	mux.HandleFunc("/live", s.serveLive)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/readyz", s.serveReadyz)
 
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// Handle registers an additional handler on the server's mux —
+// embedding services (dynunlockd's /jobs API) extend the telemetry
+// server instead of binding a second port. Registering a pattern the
+// server already serves panics, like http.ServeMux.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// serveHealthz is process liveness: 200 as long as the server answers.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.start).Round(time.Second))
+}
+
+// serveReadyz is admission readiness: 503 once draining has begun (the
+// SIGTERM window in which load balancers must stop routing new work),
+// 200 otherwise. Embedding daemons layer their own readiness on top via
+// SetNotReady-style wrappers if needed; the drain flag is the built-in
+// signal.
+func (s *Server) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.sseMu.Lock()
+	draining := s.draining
+	s.sseMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// SetDraining marks the server not-ready ahead of Shutdown: /readyz
+// flips to 503 and new /events subscriptions are refused, while already
+// attached SSE streams keep flowing until Shutdown flushes and closes
+// them. Embedding daemons call this at the top of their drain sequence
+// so load balancers stop routing work before in-flight jobs finish.
+func (s *Server) SetDraining() {
+	s.sseMu.Lock()
+	s.draining = true
+	s.sseMu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -168,6 +216,8 @@ func (s *Server) refreshProcessGauges() {
 	runtime.ReadMemStats(&ms)
 	s.reg.Gauge(MetricProcessHeap).Set(float64(ms.HeapAlloc))
 	s.reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricGoroutinesBare).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricProcessUptime).Set(time.Since(s.start).Seconds())
 	if rss, ok := ReadRSS(); ok {
 		s.reg.Gauge(MetricProcessRSS).Set(float64(rss))
 	}

@@ -29,6 +29,13 @@ const defaultKeepAlive = 15 * time.Second
 //
 // Idle periods are bridged with ": keep-alive" comments. Slow clients
 // never block the attack: the subscriber's ring drops oldest.
+//
+// ?job=<id> narrows the stream to one daemon job: only envelopes tagged
+// with that job id are forwarded (sequence numbers keep their global
+// values, still strictly increasing within the filtered view), and both
+// the connect and drain snapshots are restricted to series carrying the
+// job label — so a filtered stream's final snapshot totals are exactly
+// that job's metrics, matching its bundle's result.json.
 func (s *Server) serveEvents(w http.ResponseWriter, req *http.Request) {
 	if s.bus == nil {
 		http.Error(w, "metrics: no event stream attached (started without ServeBus)", http.StatusNotFound)
@@ -39,6 +46,7 @@ func (s *Server) serveEvents(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "metrics: streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	job := req.URL.Query().Get("job")
 	var last uint64
 	if v := req.Header.Get("Last-Event-ID"); v != "" {
 		last, _ = strconv.ParseUint(v, 10, 64)
@@ -62,16 +70,20 @@ func (s *Server) serveEvents(w http.ResponseWriter, req *http.Request) {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
-	hello := stream.Event{Type: stream.TypeHello, Time: time.Now(), Data: map[string]any{
+	helloData := map[string]any{
 		"proto":    stream.Proto,
 		"last_seq": s.bus.LastSeq(),
 		"resumed":  last > 0 && !sub.Gap(),
 		"gap":      sub.Gap(),
-	}}
+	}
+	if job != "" {
+		helloData["job"] = job
+	}
+	hello := stream.Event{Type: stream.TypeHello, Job: job, Time: time.Now(), Data: helloData}
 	if stream.WriteEvent(w, hello) != nil {
 		return
 	}
-	if stream.WriteEvent(w, s.snapshotEvent()) != nil {
+	if stream.WriteEvent(w, s.snapshotEvent(job)) != nil {
 		return
 	}
 	fl.Flush()
@@ -93,11 +105,14 @@ func (s *Server) serveEvents(w http.ResponseWriter, req *http.Request) {
 			if req.Context().Err() == nil {
 				// Graceful drain: the buffered events have all been
 				// delivered; end on the terminal totals.
-				stream.WriteEvent(w, s.snapshotEvent())
+				stream.WriteEvent(w, s.snapshotEvent(job))
 				stream.WriteComment(w, fmt.Sprintf("stream closed dropped=%d", sub.Dropped()))
 				fl.Flush()
 			}
 			return
+		}
+		if job != "" && ev.Job != job {
+			continue
 		}
 		if stream.WriteEvent(w, ev) != nil {
 			return
@@ -106,14 +121,20 @@ func (s *Server) serveEvents(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// snapshotEvent builds a synthesized full-registry snapshot (Seq 0: it
-// is per-connection state, not part of the bus ordering).
-func (s *Server) snapshotEvent() stream.Event {
+// snapshotEvent builds a synthesized registry snapshot (Seq 0: it is
+// per-connection state, not part of the bus ordering). A non-empty job
+// restricts it to series labeled job="<id>".
+func (s *Server) snapshotEvent(job string) stream.Event {
 	s.refreshProcessGauges()
-	snap := s.reg.Snapshot()
+	var snap map[string]any
+	if job != "" {
+		snap = s.reg.SnapshotLabeled("job", job)
+	} else {
+		snap = s.reg.Snapshot()
+	}
 	data := make(map[string]any, len(snap))
 	for k, v := range snap {
 		data[k] = v
 	}
-	return stream.Event{Type: stream.TypeSnapshot, Time: time.Now(), Data: data}
+	return stream.Event{Type: stream.TypeSnapshot, Job: job, Time: time.Now(), Data: data}
 }

@@ -148,3 +148,27 @@ func TestParseEventRejectsEmptyAndUnknown(t *testing.T) {
 		t.Fatalf("bad json: err = %v", err)
 	}
 }
+
+func TestJobTagSurvivesSSERoundTrip(t *testing.T) {
+	var buf strings.Builder
+	in := Event{Seq: 7, Type: TypeJob, Job: "job-3", Time: time.Unix(0, 0).UTC(),
+		Data: map[string]any{"state": "running"}}
+	if err := WriteEvent(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewDecoder(strings.NewReader(buf.String())).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Job != "job-3" || out.Type != TypeJob || out.Seq != 7 {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+	// Untagged events must not grow a job field on the wire.
+	buf.Reset()
+	if err := WriteEvent(&buf, Event{Seq: 8, Type: TypeDelta, Time: time.Unix(0, 0).UTC()}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "job") {
+		t.Fatalf("untagged event leaked a job field: %q", buf.String())
+	}
+}

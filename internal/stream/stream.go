@@ -67,6 +67,11 @@ const (
 	// sampled mean LBD, restarts, and XOR propagation share (see
 	// internal/anatomy).
 	TypeStage = "stage"
+	// TypeJob is a daemon job lifecycle transition (internal/daemon):
+	// data carries the job id, the new state
+	// (queued/admitted/running/draining/done/failed/evicted), and
+	// state-specific fields (queue position, worker, error, bundle dir).
+	TypeJob = "job"
 )
 
 // Proto is the stream schema version carried in hello events. Bump it
@@ -75,10 +80,14 @@ const Proto = 1
 
 // Event is one feed entry. Seq is the bus-assigned ordering (0 on
 // per-subscriber synthesized events, which carry no SSE id line and so
-// never disturb a client's Last-Event-ID); Data is type-specific.
+// never disturb a client's Last-Event-ID); Data is type-specific. Job
+// tags the envelope with the daemon job that published it (empty for
+// single-attack CLIs and daemon-global events): the /events?job=<id>
+// filter and per-job `runs watch -job` both select on it.
 type Event struct {
 	Seq  uint64         `json:"seq,omitempty"`
 	Type string         `json:"type"`
+	Job  string         `json:"job,omitempty"`
 	Time time.Time      `json:"t"`
 	Data map[string]any `json:"data,omitempty"`
 }
@@ -92,11 +101,23 @@ const (
 	DefaultSubscriberBuffer = 256
 )
 
-// Bus is the fan-out hub. The zero value is not usable; construct with
-// NewBus. All methods are safe for concurrent use, and Enabled/Publish
-// are additionally nil-safe so instrumentation points never branch on
-// the bus's presence.
+// Bus is a handle on the fan-out hub. The zero value is not usable;
+// construct with NewBus. All methods are safe for concurrent use, and
+// Enabled/Publish are additionally nil-safe so instrumentation points
+// never branch on the bus's presence.
+//
+// A Bus is a thin view over a shared core: WithJob derives a second
+// handle on the same subscribers and resume ring whose published events
+// carry a job tag. Handles share sequence numbering, so aggregate
+// consumers see one strictly increasing stream interleaving every job.
 type Bus struct {
+	core *busCore
+	job  string
+}
+
+// busCore holds the state shared by every Bus view: the resume ring,
+// subscriber set, and sequence counter.
+type busCore struct {
 	ringCap int
 	subCap  int
 
@@ -129,14 +150,35 @@ func NewBusSized(ringCap, subCap int) *Bus {
 	if subCap < 1 {
 		subCap = DefaultSubscriberBuffer
 	}
-	return &Bus{ringCap: ringCap, subCap: subCap, subs: make(map[*Subscriber]struct{})}
+	return &Bus{core: &busCore{ringCap: ringCap, subCap: subCap, subs: make(map[*Subscriber]struct{})}}
+}
+
+// WithJob returns a view of the same bus whose published events are
+// tagged with job id. Subscribers, the resume ring, and sequence
+// numbering are shared with the parent; only the Job field of events
+// published through the returned handle differs. An empty id (or a nil
+// receiver) returns the receiver unchanged.
+func (b *Bus) WithJob(id string) *Bus {
+	if b == nil || id == "" || id == b.job {
+		return b
+	}
+	return &Bus{core: b.core, job: id}
+}
+
+// Job returns the job tag events published through this handle carry
+// (empty for the root handle). Nil-safe.
+func (b *Bus) Job() string {
+	if b == nil {
+		return ""
+	}
+	return b.job
 }
 
 // Enabled reports whether at least one subscriber is attached. Nil-safe
 // and lock-free: publishers call it before building an event payload so
 // the no-subscriber path allocates nothing.
 func (b *Bus) Enabled() bool {
-	return b != nil && b.subscribers.Load() > 0
+	return b != nil && b.core.subscribers.Load() > 0
 }
 
 // LastSeq returns the most recently assigned sequence number (0 before
@@ -145,7 +187,7 @@ func (b *Bus) LastSeq() uint64 {
 	if b == nil {
 		return 0
 	}
-	return b.lastSeq.Load()
+	return b.core.lastSeq.Load()
 }
 
 // Publish assigns the next sequence number to a typ event carrying data
@@ -159,24 +201,25 @@ func (b *Bus) Publish(typ string, data map[string]any) {
 		return
 	}
 	now := time.Now()
-	b.mu.Lock()
-	if b.closed || len(b.subs) == 0 {
-		b.mu.Unlock()
+	c := b.core
+	c.mu.Lock()
+	if c.closed || len(c.subs) == 0 {
+		c.mu.Unlock()
 		return
 	}
-	b.seq++
-	ev := Event{Seq: b.seq, Type: typ, Time: now, Data: data}
-	if len(b.ring) < b.ringCap {
-		b.ring = append(b.ring, ev)
+	c.seq++
+	ev := Event{Seq: c.seq, Type: typ, Job: b.job, Time: now, Data: data}
+	if len(c.ring) < c.ringCap {
+		c.ring = append(c.ring, ev)
 	} else {
-		b.ring[b.head] = ev
-		b.head = (b.head + 1) % b.ringCap
+		c.ring[c.head] = ev
+		c.head = (c.head + 1) % c.ringCap
 	}
-	for s := range b.subs {
+	for s := range c.subs {
 		s.push(ev)
 	}
-	b.lastSeq.Store(b.seq)
-	b.mu.Unlock()
+	c.lastSeq.Store(c.seq)
+	c.mu.Unlock()
 }
 
 // Subscribe attaches a new subscriber. A nonzero lastEventID requests a
@@ -186,65 +229,68 @@ func (b *Bus) Publish(typ string, data map[string]any) {
 // flag is set and delivery starts from the oldest retained event.
 // Subscribing to a closed bus returns an already-closed subscriber.
 func (b *Bus) Subscribe(lastEventID uint64) *Subscriber {
-	s := &Subscriber{bus: b, cap: b.subCap, notify: make(chan struct{}, 1)}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	c := b.core
+	s := &Subscriber{bus: c, cap: c.subCap, notify: make(chan struct{}, 1)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
 		s.closed = true
 		return s
 	}
-	if lastEventID < b.seq {
-		n := len(b.ring)
+	if lastEventID < c.seq {
+		n := len(c.ring)
 		if n > 0 {
-			oldest := b.ring[b.head%n].Seq
+			oldest := c.ring[c.head%n].Seq
 			if lastEventID+1 < oldest {
 				s.gap = true
 			}
 			for i := 0; i < n; i++ {
-				ev := b.ring[(b.head+i)%n]
+				ev := c.ring[(c.head+i)%n]
 				if ev.Seq > lastEventID {
 					s.push(ev)
 				}
 			}
 		}
 	}
-	b.subs[s] = struct{}{}
-	b.subscribers.Add(1)
+	c.subs[s] = struct{}{}
+	c.subscribers.Add(1)
 	return s
 }
 
 // Close shuts the bus down: every subscriber is closed (draining its
-// buffered events first) and later Publish calls are discarded.
+// buffered events first) and later Publish calls are discarded. Closing
+// any view closes the shared core, so every other view stops too.
 func (b *Bus) Close() {
 	if b == nil {
 		return
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	c := b.core
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
-	b.closed = true
-	subs := make([]*Subscriber, 0, len(b.subs))
-	for s := range b.subs {
+	c.closed = true
+	subs := make([]*Subscriber, 0, len(c.subs))
+	for s := range c.subs {
 		subs = append(subs, s)
 	}
-	b.subs = map[*Subscriber]struct{}{}
-	b.subscribers.Store(0)
-	b.mu.Unlock()
+	c.subs = map[*Subscriber]struct{}{}
+	c.subscribers.Store(0)
+	c.mu.Unlock()
 	for _, s := range subs {
 		s.markClosed()
 	}
 }
 
 // detach removes s from the live set (idempotent).
-func (b *Bus) detach(s *Subscriber) {
-	b.mu.Lock()
-	if _, ok := b.subs[s]; ok {
-		delete(b.subs, s)
-		b.subscribers.Add(-1)
+func (c *busCore) detach(s *Subscriber) {
+	c.mu.Lock()
+	if _, ok := c.subs[s]; ok {
+		delete(c.subs, s)
+		c.subscribers.Add(-1)
 	}
-	b.mu.Unlock()
+	c.mu.Unlock()
 }
 
 // Subscriber is one attached client. Events are buffered in a private
@@ -252,7 +298,7 @@ func (b *Bus) detach(s *Subscriber) {
 // A Subscriber is safe for one consuming goroutine concurrent with the
 // bus's publishers.
 type Subscriber struct {
-	bus    *Bus
+	bus    *busCore
 	cap    int
 	notify chan struct{}
 

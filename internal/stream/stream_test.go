@@ -247,3 +247,107 @@ func TestPublishedDataIsNotCopiedButSeqIsStable(t *testing.T) {
 		t.Fatalf("resumed event data %v, want %v", evs[0].Data, m)
 	}
 }
+
+func TestResumeRingWraparoundAccounting(t *testing.T) {
+	// Regression: a subscriber resuming from a Last-Event-ID older than
+	// the ring must (a) be flagged Gap so the SSE layer re-sends a fresh
+	// snapshot, (b) receive exactly the retained suffix in order, and
+	// (c) account every replay eviction in Dropped. Ring 8, subscriber
+	// buffer 4: publish 20 events so the ring wraps (holds 13..20), then
+	// resume from seq 2 — the 8 retained events overflow the 4-slot
+	// buffer, evicting 13..16.
+	b := NewBusSized(8, 4)
+	anchor := b.Subscribe(0)
+	defer anchor.Close()
+	for i := 1; i <= 20; i++ {
+		b.Publish(TypeDelta, map[string]any{"i": i})
+	}
+	s := b.Subscribe(2)
+	defer s.Close()
+	if !s.Gap() {
+		t.Fatal("resume older than the ring did not set Gap")
+	}
+	if got := s.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d after replay overflow, want exactly 4", got)
+	}
+	evs := collect(t, s, 4)
+	for i, ev := range evs {
+		if want := uint64(17 + i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// Live delivery continues with no further loss and exact accounting.
+	b.Publish(TypeDelta, map[string]any{"i": 21})
+	evs = collect(t, s, 1)
+	if evs[0].Seq != 21 {
+		t.Fatalf("live event seq %d, want 21", evs[0].Seq)
+	}
+	if got := s.Dropped(); got != 4 {
+		t.Fatalf("Dropped drifted to %d after live delivery, want 4", got)
+	}
+}
+
+func TestResumeWithinRingExactNoGap(t *testing.T) {
+	// Complement to the wraparound case: a resume position still inside
+	// the ring replays the exact suffix with no gap and no drops.
+	b := NewBusSized(8, 8)
+	anchor := b.Subscribe(0)
+	defer anchor.Close()
+	for i := 1; i <= 10; i++ {
+		b.Publish(TypeDelta, map[string]any{"i": i})
+	}
+	s := b.Subscribe(6) // ring holds 3..10; 6+1 >= oldest 3
+	defer s.Close()
+	if s.Gap() {
+		t.Fatal("in-ring resume flagged Gap")
+	}
+	if got := s.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d on in-ring resume, want 0", got)
+	}
+	evs := collect(t, s, 4)
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestWithJobTagsEnvelopes(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(0)
+	defer s.Close()
+	j1 := b.WithJob("job-1")
+	j2 := b.WithJob("job-2")
+	b.Publish(TypeDelta, nil)
+	j1.Publish(TypeDIP, nil)
+	j2.Publish(TypeDIP, nil)
+	j1.Publish(TypeResult, nil)
+	evs := collect(t, s, 4)
+	wantJobs := []string{"", "job-1", "job-2", "job-1"}
+	for i, ev := range evs {
+		if ev.Job != wantJobs[i] {
+			t.Fatalf("event %d: job %q, want %q", i, ev.Job, wantJobs[i])
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d: seq %d, want %d — views must share numbering", i, ev.Seq, i+1)
+		}
+	}
+	// Views share subscribers and closed state.
+	if !j1.Enabled() || j1.LastSeq() != 4 {
+		t.Fatalf("view state diverged: enabled=%v lastSeq=%d", j1.Enabled(), j1.LastSeq())
+	}
+	if got := b.WithJob("").Job(); got != "" {
+		t.Fatalf("WithJob(\"\") job = %q, want root handle", got)
+	}
+	if got := j1.WithJob("job-1"); got != j1 {
+		t.Fatal("WithJob with same id should return the receiver")
+	}
+	var nb *Bus
+	if nb.WithJob("x") != nil || nb.Job() != "" {
+		t.Fatal("nil bus WithJob/Job not nil-safe")
+	}
+	j2.Close()
+	if b.Enabled() {
+		t.Fatal("closing a view did not close the shared core")
+	}
+}
